@@ -1,0 +1,163 @@
+(* Command-line frontend: regenerate each of the paper's experiments
+   and run the compress_roas pipeline on VRP CSV files. *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc = "Dataset scale relative to the paper's 2017-06-01 snapshot (1.0 = 776,945 pairs)." in
+  Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed; every output is deterministic in it." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let mode_arg =
+  let doc =
+    "Compression merge rule: $(b,strict) (lossless, default) or $(b,paper) (Algorithm 1 \
+     verbatim, can over-authorize; see EXPERIMENTS.md)."
+  in
+  let modes = Arg.enum [ ("strict", Mlcore.Compress.Strict); ("paper", Mlcore.Compress.Paper) ] in
+  Arg.(value & opt modes Mlcore.Compress.Strict & info [ "mode" ] ~doc)
+
+let snapshot scale seed =
+  Dataset.Snapshot.generate ~params:(Dataset.Snapshot.scaled scale) ~seed ()
+
+let measure_cmd =
+  let run scale seed =
+    let stats = Mlcore.Analysis.measure (snapshot scale seed) in
+    print_endline (Mlcore.Report.render_stats stats)
+  in
+  Cmd.v
+    (Cmd.info "measure" ~doc:"Reproduce the section-6 measurements on a synthetic snapshot.")
+    Term.(const run $ scale_arg $ seed_arg)
+
+let table1_cmd =
+  let run scale seed mode =
+    Mlcore.Scenario.compression_mode := mode;
+    let rows = Mlcore.Scenario.table1 (snapshot scale seed) in
+    print_string (Mlcore.Report.render_table1 ~scale rows)
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce Table 1 (PDU counts for the seven scenarios).")
+    Term.(const run $ scale_arg $ seed_arg $ mode_arg)
+
+let figure3_cmd =
+  let panel_arg =
+    let doc = "Which panel: $(b,a) (today's deployment) or $(b,b) (full deployment)." in
+    Arg.(value & opt (enum [ ("a", `A); ("b", `B) ]) `A & info [ "panel" ] ~doc)
+  in
+  let csv_arg =
+    let doc = "Emit CSV instead of an aligned table." in
+    Arg.(value & flag & info [ "csv" ] ~doc)
+  in
+  let run scale seed mode panel csv =
+    Mlcore.Scenario.compression_mode := mode;
+    let weeks =
+      Dataset.Timeline.generate ~params:(Dataset.Snapshot.scaled scale) ~seed ()
+    in
+    let title, series =
+      match panel with
+      | `A -> ("Figure 3a: today's RPKI deployment", Mlcore.Scenario.figure3a weeks)
+      | `B -> ("Figure 3b: RPKI in full deployment", Mlcore.Scenario.figure3b weeks)
+    in
+    if csv then print_string (Mlcore.Report.csv_of_series series)
+    else print_string (Mlcore.Report.render_series ~title series)
+  in
+  Cmd.v
+    (Cmd.info "figure3" ~doc:"Reproduce Figure 3 (PDU counts along the weekly timeline).")
+    Term.(const run $ scale_arg $ seed_arg $ mode_arg $ panel_arg $ csv_arg)
+
+let compress_cmd =
+  let input_arg =
+    let doc = "VRP CSV file (prefix,maxLength,asn per line); - for stdin." in
+    Arg.(value & opt string "-" & info [ "input"; "i" ] ~docv:"FILE" ~doc)
+  in
+  let run mode input =
+    let contents =
+      if input = "-" then In_channel.input_all stdin
+      else In_channel.with_open_text input In_channel.input_all
+    in
+    match Rpki.Scan_roas.of_csv contents with
+    | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+    | Ok vrps ->
+      let compressed = Mlcore.Compress.run ~mode vrps in
+      print_string (Rpki.Scan_roas.to_csv compressed);
+      Printf.eprintf "compressed %d -> %d tuples (%.2f%%)\n" (List.length vrps)
+        (List.length compressed)
+        (100.0
+        *. Mlcore.Compress.compression_ratio ~before:(List.length vrps)
+             ~after:(List.length compressed))
+  in
+  Cmd.v
+    (Cmd.info "compress"
+       ~doc:"Run compress_roas on a VRP CSV (drop-in for the scan_roas output format).")
+    Term.(const run $ mode_arg $ input_arg)
+
+let hijack_cmd =
+  let ases_arg =
+    let doc = "Number of ASes in the synthetic topology." in
+    Arg.(value & opt int 1000 & info [ "ases" ] ~docv:"N" ~doc)
+  in
+  let rov_arg =
+    let doc = "Fraction of ASes performing route-origin validation (drop invalid)." in
+    Arg.(value & opt float 1.0 & info [ "rov" ] ~docv:"FRACTION" ~doc)
+  in
+  let trials_arg =
+    let doc = "Number of random victim/attacker pairs to average over." in
+    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let run seed n_as rov trials =
+    let results = Experiments.Hijack_eval.hijack_table ~seed ~n_as ~rov ~trials in
+    print_string results
+  in
+  Cmd.v
+    (Cmd.info "hijack"
+       ~doc:"Reproduce the section-4/5 attack comparison on a synthetic AS topology.")
+    Term.(const run $ seed_arg $ ases_arg $ rov_arg $ trials_arg)
+
+let audit_cmd =
+  let top_arg =
+    let doc = "Show only the $(docv) worst ROAs." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let run scale seed top =
+    let snap = snapshot scale seed in
+    let reports =
+      Mlcore.Advisor.audit snap.Dataset.Snapshot.table snap.Dataset.Snapshot.roas
+    in
+    Printf.printf "%d of %d ROAs need attention; worst %d:\n\n" (List.length reports)
+      (List.length snap.Dataset.Snapshot.roas) (min top (List.length reports));
+    List.iteri
+      (fun i (report, suggestion) ->
+        if i < top then begin
+          Format.printf "%a@." Mlcore.Advisor.pp_report report;
+          (match suggestion with
+           | Some minimal -> Format.printf "  suggested replacement: %a@.@." Rpki.Roa.pp minimal
+           | None -> Format.printf "  suggested action: revoke (nothing it authorizes is announced)@.@.")
+        end)
+      reports
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Review a ROA corpus against BGP, as the paper's section-8 recommendation would \
+          have RIR portals do: flag vulnerable maxLength use and suggest minimal ROAs.")
+    Term.(const run $ scale_arg $ seed_arg $ top_arg)
+
+let generate_cmd =
+  let run scale seed =
+    let snap = snapshot scale seed in
+    print_string (Rpki.Scan_roas.to_csv (Dataset.Snapshot.vrps snap))
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic snapshot and dump its VRPs as CSV.")
+    Term.(const run $ scale_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "rpki_maxlen" ~version:"1.0.0"
+      ~doc:"Reproduction toolkit for 'MaxLength Considered Harmful to the RPKI' (CoNEXT'17)."
+  in
+  exit (Cmd.eval (Cmd.group info [ measure_cmd; table1_cmd; figure3_cmd; compress_cmd; hijack_cmd; audit_cmd; generate_cmd ]))

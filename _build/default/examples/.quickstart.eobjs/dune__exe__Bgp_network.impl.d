@@ -1,0 +1,1 @@
+examples/bgp_network.ml: Bgp List Netaddr Option Printf Rpki

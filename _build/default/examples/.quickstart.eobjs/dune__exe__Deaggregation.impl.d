@@ -1,0 +1,1 @@
+examples/deaggregation.ml: Format List Netaddr Printf Result Rpki String

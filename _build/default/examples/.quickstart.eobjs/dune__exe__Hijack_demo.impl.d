@@ -1,0 +1,1 @@
+examples/hijack_demo.ml: Bgp Experiments List Netaddr Printf Result Rpki

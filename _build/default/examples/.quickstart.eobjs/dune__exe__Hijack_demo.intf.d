@@ -1,0 +1,1 @@
+examples/hijack_demo.mli:

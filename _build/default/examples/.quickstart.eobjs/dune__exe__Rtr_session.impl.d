@@ -1,0 +1,1 @@
+examples/rtr_session.ml: Bgp Format Int32 List Mlcore Netaddr Result Rpki Rtr

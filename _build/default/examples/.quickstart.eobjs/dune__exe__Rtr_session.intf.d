@@ -1,0 +1,1 @@
+examples/rtr_session.mli:

@@ -1,0 +1,57 @@
+(* The paper's §2-§3 running example: Boston University (AS 111,
+   168.122.0.0/16) wants to de-aggregate. Three ways to write the ROA,
+   and what each does to (a) BU's own announcements and (b) the
+   forged-origin subprefix hijacker AS 666.
+
+   Run with: dune exec examples/deaggregation.exe *)
+
+let p = Netaddr.Pfx.of_string_exn
+let asn = Rpki.Asnum.of_int
+let bu = asn 111
+let hijacker = asn 666
+
+(* What BU actually announces in BGP. *)
+let announced = [ "168.122.0.0/16"; "168.122.225.0/24" ]
+
+let show title roa =
+  Format.printf "@.=== %s ===@.%a@." title Rpki.Roa.pp roa;
+  let db = Rpki.Validation.create (Rpki.Scan_roas.vrps_of_roas [ roa ]) in
+  let check label prefix origin =
+    Format.printf "  %-52s -> %s@." label
+      (Rpki.Validation.state_to_string (Rpki.Validation.validate db (p prefix) origin))
+  in
+  List.iter
+    (fun pre -> check (Printf.sprintf "BU announces %s" pre) pre bu)
+    announced;
+  check "BU de-aggregates further: 168.122.64.0/24" "168.122.64.0/24" bu;
+  check "hijack: \"168.122.0.0/24: AS 666, AS 111\"" "168.122.0.0/24" bu;
+  (* Origin validation sees the forged origin (AS 111), which is why
+     the previous line is the one that matters; a plain subprefix
+     hijack by AS 666 is always invalid: *)
+  check "plain subprefix hijack by AS 666" "168.122.0.0/24" hijacker
+
+let () =
+  Format.printf "BU announces: %s@." (String.concat ", " announced);
+
+  (* Option 1 (§2): ROA for the /16 only. Secure, but BU's own /24 is
+     invalid — de-aggregation is broken. *)
+  show "ROA:(168.122.0.0/16, AS 111) — no maxLength, /16 only"
+    (Result.get_ok (Rpki.Roa.of_simple bu [ ("168.122.0.0/16", None) ]));
+
+  (* Option 2 (§3): maxLength 24. Convenient — any future /17../24
+     works — but §4 shows every unannounced subprefix is hijackable
+     via a forged origin. *)
+  show "ROA:(168.122.0.0/16-24, AS 111) — maxLength (VULNERABLE)"
+    (Result.get_ok (Rpki.Roa.of_simple bu [ ("168.122.0.0/16", Some 24) ]));
+
+  (* Option 3 (the paper's recommendation, now RFC 9319): a minimal
+     ROA listing exactly the announced prefixes. De-aggregation works,
+     the forged-origin subprefix hijack does not. *)
+  show "ROA:({168.122.0.0/16, 168.122.225.0/24}, AS 111) — minimal"
+    (Result.get_ok
+       (Rpki.Roa.of_simple bu [ ("168.122.0.0/16", None); ("168.122.225.0/24", None) ]));
+
+  Format.printf
+    "@.Note: under the minimal ROA the hijacker's \"168.122.0.0/24: AS 666, AS 111\"@.\
+     is Invalid, so ROV-enforcing routers drop it; under the maxLength ROA it is@.\
+     Valid and, being the only route for that /24, wins by longest-prefix match.@."

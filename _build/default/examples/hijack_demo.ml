@@ -1,0 +1,51 @@
+(* The §4 forged-origin subprefix hijack, end to end on a synthetic
+   1000-AS Internet: measure who gets BU's traffic under each attack
+   and each ROA shape.
+
+   Run with: dune exec examples/hijack_demo.exe *)
+
+let () =
+  print_endline
+    "Forged-origin subprefix hijack evaluation (paper sections 4-5)\n\
+     Victim: a stub AS announcing 168.122.0.0/16 and 168.122.225.0/24.\n\
+     Attacker: another stub, targeting the unannounced 168.122.0.0/24.\n";
+  (* Full ROV deployment: the world where the RPKI's promises are
+     supposed to hold. *)
+  print_string (Experiments.Hijack_eval.hijack_table ~seed:42 ~n_as:1000 ~rov:1.0 ~trials:10);
+  print_newline ();
+  (* Partial deployment, closer to today's Internet. *)
+  print_string (Experiments.Hijack_eval.hijack_table ~seed:42 ~n_as:1000 ~rov:0.3 ~trials:10);
+  print_newline ();
+  print_endline
+    "Reading the tables:\n\
+     - 'forged-origin subprefix + non-minimal ROA' is Valid and captures\n\
+     \  (nearly) everything: maxLength turned the RPKI against its owner.\n\
+     - The same attack against a minimal ROA is Invalid: with ROV it captures 0%.\n\
+     - The fallback 'forged-origin hijack' on the announced /16 splits traffic;\n\
+     \  most ASes keep routing to the victim (Lychev et al., SIGCOMM'13).\n\
+     - Lower ROV deployment weakens every protection, but never turns the\n\
+     \  minimal-ROA subprefix attack back into a total capture.\n";
+
+  (* The counterfactual the paper sets aside ("BGPsec is not deployed
+     in our setting"): with path signatures, the forged-origin trick
+     dies cryptographically, maxLength or not. *)
+  print_endline "Extension: the same forged announcement under BGPsec-style path validation";
+  let ks = Bgp.Bgpsec.create_keystore ~key_height:4 ~seed:"demo" () in
+  let victim = Rpki.Asnum.of_int 111 and attacker = Rpki.Asnum.of_int 666 in
+  let transit = Rpki.Asnum.of_int 3356 in
+  List.iter (Bgp.Bgpsec.enroll ks) [ victim; attacker; transit ];
+  let sub = Netaddr.Pfx.of_string_exn "168.122.0.0/24" in
+  let honest =
+    Result.get_ok
+      (Bgp.Bgpsec.originate ks ~prefix:(Netaddr.Pfx.of_string_exn "168.122.0.0/16")
+         ~origin:victim ~to_:transit)
+  in
+  let forged = Bgp.Bgpsec.forge_origin ks ~prefix:sub ~attacker ~victim ~to_:transit in
+  Printf.printf "  honest %-38s -> %s\n"
+    (Bgp.Route.to_string honest.Bgp.Bgpsec.route)
+    (match Bgp.Bgpsec.validate ks honest with Ok () -> "path valid" | Error e -> e);
+  Printf.printf "  forged %-38s -> %s\n"
+    (Bgp.Route.to_string forged.Bgp.Bgpsec.route)
+    (match Bgp.Bgpsec.validate ks forged with
+     | Ok () -> "path valid (?!)"
+     | Error e -> "REJECTED: " ^ e)

@@ -1,0 +1,1 @@
+lib/asn1/der.ml: Buffer Char Format Int64 List Printf Result String

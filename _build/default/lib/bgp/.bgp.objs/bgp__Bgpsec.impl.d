@@ -1,0 +1,1 @@
+lib/bgp/bgpsec.ml: Hashcrypto List Netaddr Option Printf Result Route Rpki String

@@ -1,0 +1,1 @@
+lib/bgp/bgpsec.mli: Hashcrypto Netaddr Route Rpki

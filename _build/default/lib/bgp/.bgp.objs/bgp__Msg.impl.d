@@ -1,0 +1,1 @@
+lib/bgp/msg.ml: Buffer Char Format List Netaddr Printf Result Rpki String Wire

@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: List Netaddr Ptrie Route

@@ -1,0 +1,1 @@
+lib/bgp/router.ml: List Msg Netaddr Option Policy Route Rov Rpki Session

@@ -1,0 +1,1 @@
+lib/bgp/router.mli: Netaddr Policy Route Rov Rpki

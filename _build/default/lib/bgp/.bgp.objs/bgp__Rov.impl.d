@@ -1,0 +1,1 @@
+lib/bgp/rov.ml: Route Rpki

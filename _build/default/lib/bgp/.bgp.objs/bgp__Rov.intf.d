@@ -1,0 +1,1 @@
+lib/bgp/rov.mli: Route Rpki

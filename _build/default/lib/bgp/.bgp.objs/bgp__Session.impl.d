@@ -1,0 +1,1 @@
+lib/bgp/session.ml: List Msg Netaddr Printf Route Rpki Wire

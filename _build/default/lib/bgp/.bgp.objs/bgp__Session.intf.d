@@ -1,0 +1,1 @@
+lib/bgp/session.mli: Msg Netaddr Route Rpki

@@ -1,0 +1,1 @@
+lib/bgp/wire.ml: Buffer Bytes Char List Netaddr Printf Result Route Rpki String

@@ -1,0 +1,1 @@
+lib/bgp/wire.mli: Netaddr Route Rpki

@@ -1,0 +1,57 @@
+type t = {
+  left : Session.t;
+  right : Session.t;
+  mutable partitioned : bool;
+  mutable bytes : int;
+}
+
+let left t = t.left
+let right t = t.right
+let bytes_on_wire t = t.bytes
+
+let transfer t source sink =
+  let msgs = Session.pending source in
+  if not t.partitioned then
+    List.iter
+      (fun m ->
+        let wire = Msg.encode m in
+        t.bytes <- t.bytes + String.length wire;
+        match Msg.decode wire 0 with
+        | Ok (m', off) when off = String.length wire -> Session.receive sink m'
+        | Ok _ -> failwith "Bgp.Peering: trailing bytes after message"
+        | Error e -> failwith ("Bgp.Peering: message failed to round-trip: " ^ e))
+      msgs;
+  msgs <> []
+
+let pump t =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    if transfer t t.left t.right then progress := true;
+    if transfer t t.right t.left then progress := true
+  done
+
+let connect left_cfg right_cfg =
+  let t =
+    { left = Session.create left_cfg; right = Session.create right_cfg; partitioned = false;
+      bytes = 0 }
+  in
+  Session.start t.left;
+  Session.start t.right;
+  pump t;
+  t
+
+let elapse t ~seconds =
+  for _ = 1 to seconds do
+    Session.tick t.left ~seconds:1;
+    Session.tick t.right ~seconds:1;
+    pump t
+  done
+
+let partition t =
+  t.partitioned <- true;
+  (* Drop whatever is queued right now. *)
+  ignore (Session.pending t.left);
+  ignore (Session.pending t.right)
+
+let heal t = t.partitioned <- false

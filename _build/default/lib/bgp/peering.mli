@@ -1,0 +1,30 @@
+(** Two {!Session}s wired back-to-back through the real byte encoding.
+
+    Every message crosses the link as bytes and is re-decoded on the
+    other side, so tests and examples exercise {!Msg}'s framing, not
+    just the state machines. Pumping is synchronous; the shared
+    logical clock drives both ends. *)
+
+type t
+
+val connect : Session.config -> Session.config -> t
+(** Start both sessions actively and pump until Established. *)
+
+val left : t -> Session.t
+val right : t -> Session.t
+
+val pump : t -> unit
+(** Deliver all in-flight messages until quiescent.
+    @raise Failure if a message fails to decode on the link — a
+    framing bug. *)
+
+val elapse : t -> seconds:int -> unit
+(** Advance both clocks (in one-second steps, pumping between steps,
+    so keepalives arrive before hold timers fire). *)
+
+val partition : t -> unit
+(** Drop all in-flight traffic and stop delivering until
+    {!heal}; used to make hold timers expire. *)
+
+val heal : t -> unit
+val bytes_on_wire : t -> int

@@ -1,0 +1,64 @@
+module Pfx = Netaddr.Pfx
+
+type 'meta entry = { mutable cands : ('meta * Route.t) list }
+
+type 'meta t = {
+  prefer : ('meta * Route.t) -> ('meta * Route.t) -> int;
+  v4 : 'meta entry Ptrie.t;
+  v6 : 'meta entry Ptrie.t;
+}
+
+let create ~prefer () = { prefer; v4 = Ptrie.create Pfx.Afi_v4; v6 = Ptrie.create Pfx.Afi_v6 }
+let trie_for t p = match Pfx.afi p with Pfx.Afi_v4 -> t.v4 | Pfx.Afi_v6 -> t.v6
+
+let same_candidate (m1, r1) (m2, r2) = m1 = m2 && Route.equal r1 r2
+
+let add t route meta =
+  let p = route.Route.prefix in
+  let cand = (meta, route) in
+  Ptrie.update (trie_for t p) p (function
+    | None -> Some { cands = [ cand ] }
+    | Some e ->
+      e.cands <- cand :: List.filter (fun c -> not (same_candidate c cand)) e.cands;
+      Some e)
+
+let withdraw t route =
+  let p = route.Route.prefix in
+  Ptrie.update (trie_for t p) p (function
+    | None -> None
+    | Some e ->
+      (match List.filter (fun (_, r) -> not (Route.equal r route)) e.cands with
+       | [] -> None
+       | cands ->
+         e.cands <- cands;
+         Some e))
+
+let best_of t e =
+  match e.cands with
+  | [] -> None
+  | cands -> Some (List.fold_left (fun acc c -> if t.prefer c acc < 0 then c else acc) (List.hd cands) (List.tl cands))
+
+let best t p =
+  match Ptrie.find (trie_for t p) p with
+  | None -> None
+  | Some e -> best_of t e
+
+let candidates t p =
+  match Ptrie.find (trie_for t p) p with
+  | None -> []
+  | Some e -> List.sort t.prefer e.cands
+
+let lookup t p =
+  (* Longest-prefix match over prefixes that have a selectable best
+     route. [Ptrie.covering] lists matches shortest-first. *)
+  let matches = Ptrie.covering (trie_for t p) p in
+  List.fold_left
+    (fun acc (_, e) -> match best_of t e with Some b -> Some b | None -> acc)
+    None matches
+
+let prefix_count t = Ptrie.cardinal t.v4 + Ptrie.cardinal t.v6
+
+let iter_best t f =
+  let visit p e = match best_of t e with Some b -> f p b | None -> () in
+  Ptrie.iter t.v4 visit;
+  Ptrie.iter t.v6 visit

@@ -1,0 +1,37 @@
+(** A routing information base with longest-prefix-match forwarding.
+
+    Stores, per prefix, every candidate route with caller-supplied
+    metadata, keeps the best one according to a preference function,
+    and answers data-plane lookups by longest prefix match over the
+    best routes — the mechanism that makes a subprefix hijack always
+    win, which is the crux of the paper's threat model. *)
+
+type 'meta t
+
+val create : prefer:(('meta * Route.t) -> ('meta * Route.t) -> int) -> unit -> 'meta t
+(** [prefer] orders candidates for the same prefix; negative means the
+    first argument is the better route (e.g. {!Policy.better}). *)
+
+val add : 'meta t -> Route.t -> 'meta -> unit
+(** Insert or replace the candidate from this route's neighbor (two
+    candidates are "from the same neighbor" when their metadata and
+    full path are equal). *)
+
+val withdraw : 'meta t -> Route.t -> unit
+(** Remove the exact candidate (same prefix, path and position). *)
+
+val best : 'meta t -> Netaddr.Pfx.t -> ('meta * Route.t) option
+(** The selected route for exactly this prefix. *)
+
+val candidates : 'meta t -> Netaddr.Pfx.t -> ('meta * Route.t) list
+
+val lookup : 'meta t -> Netaddr.Pfx.t -> ('meta * Route.t) option
+(** Data-plane decision for a destination (give a host prefix, /32 or
+    /128, for a single address): the best route of the longest
+    matching prefix. *)
+
+val prefix_count : 'meta t -> int
+(** Number of prefixes with at least one candidate — the routing-table
+    size operators worry about when they frown on de-aggregation. *)
+
+val iter_best : 'meta t -> (Netaddr.Pfx.t -> 'meta * Route.t -> unit) -> unit

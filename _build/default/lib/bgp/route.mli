@@ -1,0 +1,35 @@
+(** BGP routes: an NLRI prefix plus its AS-level path attributes.
+
+    The AS path is ordered newest-first: the head is the neighbor that
+    sent us the route, the last element is the origin AS — the one a
+    ROA vouches (or fails to vouch) for. *)
+
+type t = { prefix : Netaddr.Pfx.t; as_path : Rpki.Asnum.t list }
+
+val make : Netaddr.Pfx.t -> Rpki.Asnum.t list -> (t, string) result
+(** Rejects an empty AS path. *)
+
+val make_exn : Netaddr.Pfx.t -> Rpki.Asnum.t list -> t
+
+val origin : t -> Rpki.Asnum.t
+(** The AS that (claims to have) originated the route. *)
+
+val originate : Netaddr.Pfx.t -> Rpki.Asnum.t -> t
+(** A locally originated route: path = [[asn]]. *)
+
+val prepend : Rpki.Asnum.t -> t -> t
+(** What an AS does before propagating a route to a neighbor. *)
+
+val path_length : t -> int
+
+val loops_through : t -> Rpki.Asnum.t -> bool
+(** BGP loop prevention: an AS must ignore routes already containing
+    its own number. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Rendered like the paper's announcements:
+    ["168.122.0.0/24: AS 666, AS 111"]. *)

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Compress Dataset Format Int Int64 List Minimal Netaddr Printf Rpki

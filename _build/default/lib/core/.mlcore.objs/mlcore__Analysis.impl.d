@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Dataset Format List Minimal Rpki

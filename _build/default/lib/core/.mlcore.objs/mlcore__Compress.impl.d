@@ -1,0 +1,1 @@
+lib/core/compress.ml: Format Hashtbl Int List Netaddr Option Ptrie Rpki

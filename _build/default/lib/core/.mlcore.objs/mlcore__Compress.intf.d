@@ -1,0 +1,1 @@
+lib/core/compress.mli: Format Rpki

@@ -1,0 +1,1 @@
+lib/core/local_cache.ml: Compress List Rpki Rtr

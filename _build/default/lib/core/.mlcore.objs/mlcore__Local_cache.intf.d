@@ -1,0 +1,1 @@
+lib/core/local_cache.mli: Compress Rpki Rtr

@@ -1,0 +1,1 @@
+lib/core/minimal.ml: Array Dataset List Netaddr Rpki

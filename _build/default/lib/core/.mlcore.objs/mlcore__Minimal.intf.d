@@ -1,0 +1,1 @@
+lib/core/minimal.mli: Dataset Rpki

@@ -1,0 +1,1 @@
+lib/core/report.ml: Analysis Buffer Format List Printf Scenario String

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Compress Dataset Lazy List Minimal Rpki

@@ -1,0 +1,63 @@
+(** Operator guidance — the paper's §8 recommendation, as a library.
+
+    The paper argues RIR user interfaces should steer operators toward
+    minimal ROAs and warn "expert users" who insist on maxLength about
+    forged-origin subprefix hijacks. This module is that check: review
+    a proposed ROA against what its AS actually announces, quantify the
+    exposed (authorized-but-unannounced) space, and propose the safe
+    minimal replacement. *)
+
+type severity = Safe | Warning | Vulnerable
+
+type finding = {
+  severity : severity;
+  entry : Rpki.Roa.entry option;  (** The offending entry, when one is identifiable. *)
+  message : string;
+  exposed_routes : int64;
+      (** Distinct (prefix) announcements this entry authorizes that the
+          AS does not announce — each one a forged-origin subprefix
+          hijack opportunity. *)
+}
+
+type report = {
+  roa : Rpki.Roa.t;
+  findings : finding list;
+  total_exposed : int64;
+  verdict : severity;  (** The worst finding's severity. *)
+}
+
+val review : Dataset.Bgp_table.t -> Rpki.Roa.t -> report
+(** Check each entry: maxLength slack over unannounced space is
+    [Vulnerable]; an entry for a prefix the AS does not announce at all
+    is a [Warning] (stale or premature); exact announced entries are
+    [Safe]. *)
+
+val suggest_minimal : Dataset.Bgp_table.t -> Rpki.Roa.t -> Rpki.Roa.t option
+(** The §7 conversion for one ROA: the minimal ROA covering exactly the
+    announced routes the original made valid — [None] when nothing it
+    authorizes is announced (the ROA should simply be revoked). *)
+
+val suggest_compressed : Dataset.Bgp_table.t -> Rpki.Roa.t -> Rpki.Roa.t option
+(** Like {!suggest_minimal}, then re-compressed with the lossless
+    Algorithm 1, so the suggestion is minimal {e and} as small as the
+    original where possible. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val audit :
+  Dataset.Bgp_table.t -> Rpki.Roa.t list -> (report * Rpki.Roa.t option) list
+(** Review a whole corpus; returns non-[Safe] reports (worst first,
+    largest exposure first) with their suggested replacements. *)
+
+type corpus_stats = {
+  total : int;
+  safe : int;
+  warnings : int;
+  vulnerable : int;
+  total_exposed : int64;
+      (** Hijackable authorized-but-unannounced routes across the
+          corpus — the aggregate attack surface maxLength created. *)
+}
+
+val corpus_stats : Dataset.Bgp_table.t -> Rpki.Roa.t list -> corpus_stats
+val pp_corpus_stats : Format.formatter -> corpus_stats -> unit

@@ -1,0 +1,235 @@
+module Pfx = Netaddr.Pfx
+module Asnum = Rpki.Asnum
+module Vrp = Rpki.Vrp
+
+type mode = Strict | Paper
+
+(* --- grouping by (origin AS, family) --- *)
+
+module Group_key = struct
+  type t = Asnum.t * Pfx.afi
+
+  let equal (a1, f1) (a2, f2) = Asnum.equal a1 a2 && f1 = f2
+  let hash (a, f) = Hashtbl.hash (Asnum.to_int a, f)
+end
+
+module Group_tbl = Hashtbl.Make (Group_key)
+
+let group_by_as_family vrps =
+  let groups = Group_tbl.create 1024 in
+  List.iter
+    (fun (v : Vrp.t) ->
+      let key = (v.Vrp.asn, Pfx.afi v.Vrp.prefix) in
+      let l = match Group_tbl.find_opt groups key with Some l -> l | None -> [] in
+      Group_tbl.replace groups key (v :: l))
+    vrps;
+  groups
+
+(* --- covered-tuple elimination --- *)
+
+let eliminate_covered vrps =
+  let groups = group_by_as_family vrps in
+  let out = ref [] in
+  Group_tbl.iter
+    (fun (asn, afi) group ->
+      (* Shortest prefixes first; among equals, larger maxLength first,
+         so a dominating tuple is always inserted before anything it
+         covers. *)
+      let sorted =
+        List.sort
+          (fun (a : Vrp.t) (b : Vrp.t) ->
+            let c = Int.compare (Pfx.length a.Vrp.prefix) (Pfx.length b.Vrp.prefix) in
+            if c <> 0 then c else Int.compare b.Vrp.max_len a.Vrp.max_len)
+          group
+      in
+      let kept = Ptrie.create afi in
+      List.iter
+        (fun (v : Vrp.t) ->
+          let dominated =
+            Ptrie.covering kept v.Vrp.prefix
+            |> List.exists (fun (_, m) -> m >= v.Vrp.max_len)
+          in
+          if not dominated then begin
+            Ptrie.update kept v.Vrp.prefix (function
+              | Some m -> Some (max m v.Vrp.max_len)
+              | None -> Some v.Vrp.max_len);
+            out := Vrp.make_exn v.Vrp.prefix ~max_len:v.Vrp.max_len asn :: !out
+          end)
+        sorted)
+    groups;
+  List.sort_uniq Vrp.compare !out
+
+(* --- the compression trie (Algorithm 1) --- *)
+
+type node = {
+  mutable value : int option; (* Some maxLength when a tuple lives here *)
+  mutable left : node option;
+  mutable right : node option;
+}
+
+let new_node () = { value = None; left = None; right = None }
+
+let insert root p max_len =
+  let len = Pfx.length p in
+  let rec go n i =
+    if i = len then n.value <- Some (match n.value with Some m -> max m max_len | None -> max_len)
+    else begin
+      let child =
+        if Pfx.bit p i then (
+          match n.right with
+          | Some c -> c
+          | None ->
+            let c = new_node () in
+            n.right <- Some c;
+            c)
+        else
+          match n.left with
+          | Some c -> c
+          | None ->
+            let c = new_node () in
+            n.left <- Some c;
+            c
+      in
+      go child (i + 1)
+    end
+  in
+  go root 0
+
+(* Nearest stored descendant strictly below [n] on one side (Paper
+   mode's "direct child"): minimal depth; leftmost on a tie. *)
+let direct_child = function
+  | None -> None
+  | Some c ->
+    if c.value <> None then Some c
+    else begin
+      (* Breadth-first would be exact; depth-first with depth tracking
+         is equivalent here because we compare depths explicitly. *)
+      let rec bfs frontier =
+        match frontier with
+        | [] -> None
+        | _ ->
+          (match List.find_opt (fun n -> n.value <> None) frontier with
+           | Some n -> Some n
+           | None ->
+             bfs
+               (List.concat_map
+                  (fun n ->
+                    (match n.left with Some x -> [ x ] | None -> [])
+                    @ (match n.right with Some x -> [ x ] | None -> []))
+                  frontier))
+      in
+      bfs [ c ]
+    end
+
+
+type merge_counters = { mutable merges : int; mutable absorbed : int }
+
+(* Algorithm 1's compress(), applied on DFS backtrack. *)
+let merge_at counters mode n =
+  match n.value with
+  | None -> ()
+  | Some parent_value ->
+    let children =
+      match mode with
+      | Strict ->
+        (match n.left, n.right with
+         | Some l, Some r when l.value <> None && r.value <> None -> Some (l, r)
+         | _ -> None)
+      | Paper ->
+        (match direct_child n.left, direct_child n.right with
+         | Some l, Some r -> Some (l, r)
+         | _ -> None)
+    in
+    (match children with
+     | None -> ()
+     | Some (l, r) ->
+       let lv = Option.get l.value and rv = Option.get r.value in
+       let min_child = min lv rv in
+       if min_child > parent_value then begin
+         counters.merges <- counters.merges + 1;
+         n.value <- Some min_child;
+         if lv <= min_child then begin
+           l.value <- None;
+           counters.absorbed <- counters.absorbed + 1
+         end;
+         if rv <= min_child then begin
+           r.value <- None;
+           counters.absorbed <- counters.absorbed + 1
+         end
+       end)
+
+let rec dfs counters mode n =
+  (match n.left with Some c -> dfs counters mode c | None -> ());
+  (match n.right with Some c -> dfs counters mode c | None -> ());
+  merge_at counters mode n
+
+(* Rebuild the prefix of each surviving node by walking with path
+   reconstruction. *)
+let collect afi asn root =
+  let zero_prefix =
+    match afi with
+    | Pfx.Afi_v4 -> Pfx.of_string_exn "0.0.0.0/0"
+    | Pfx.Afi_v6 -> Pfx.of_string_exn "::/0"
+  in
+  let out = ref [] in
+  let rec go n p =
+    (match n.value with
+     | Some m -> out := Vrp.make_exn p ~max_len:m asn :: !out
+     | None -> ());
+    match Pfx.split p with
+    | None -> ()
+    | Some (pl, pr) ->
+      (match n.left with Some c -> go c pl | None -> ());
+      (match n.right with Some c -> go c pr | None -> ())
+  in
+  go root zero_prefix;
+  !out
+
+type stats = {
+  input : int;
+  covered_eliminated : int;
+  merges : int;
+  children_absorbed : int;
+  output : int;
+}
+
+let run_with_stats ?(mode = Strict) ?(eliminate = true) vrps =
+  let distinct = List.sort_uniq Vrp.compare vrps in
+  let input = List.length distinct in
+  let vrps = if eliminate then eliminate_covered distinct else distinct in
+  let covered_eliminated = input - List.length vrps in
+  let counters = { merges = 0; absorbed = 0 } in
+  let groups = group_by_as_family vrps in
+  let out = ref [] in
+  Group_tbl.iter
+    (fun (asn, afi) group ->
+      let root = new_node () in
+      List.iter (fun (v : Vrp.t) -> insert root v.Vrp.prefix v.Vrp.max_len) group;
+      dfs counters mode root;
+      out := collect afi asn root @ !out)
+    groups;
+  let result = List.sort_uniq Vrp.compare !out in
+  ( result,
+    { input;
+      covered_eliminated;
+      merges = counters.merges;
+      children_absorbed = counters.absorbed;
+      output = List.length result } )
+
+let run ?mode ?eliminate vrps = fst (run_with_stats ?mode ?eliminate vrps)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d -> %d tuples (%d dropped as covered; %d merges absorbing %d children)" s.input s.output
+    s.covered_eliminated s.merges s.children_absorbed
+
+let compression_ratio ~before ~after =
+  if before = 0 then 0.0 else float_of_int (before - after) /. float_of_int before
+
+let figure2_example () =
+  let asn = Asnum.of_int 31283 in
+  let v s m = Vrp.make_exn (Pfx.of_string_exn s) ~max_len:m asn in
+  let input =
+    [ v "87.254.32.0/19" 19; v "87.254.32.0/20" 20; v "87.254.48.0/20" 20; v "87.254.32.0/21" 21 ]
+  in
+  (input, run input)

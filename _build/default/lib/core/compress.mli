@@ -1,0 +1,59 @@
+(** [compress_roas] — the paper's §7 contribution.
+
+    Compresses a list of (prefix, maxLength, origin AS) tuples into a
+    smaller equivalent list that {e does} use maxLength, by building a
+    per-(AS, family) prefix trie and merging sibling subtrees into
+    their parents (Algorithm 1). Run on the local cache between
+    [scan_roas] and the RPKI-to-Router push, it shrinks the PDU list
+    without touching routers or the RPKI itself.
+
+    Two merge rules are provided:
+
+    - {!Strict} (default) only raises a parent's maxLength when both
+      {e immediate} (one-bit-longer) children are present, which makes
+      compression provably lossless: the authorized route set is
+      exactly preserved (property-tested against {!Rpki.Validation}).
+    - {!Paper} follows Algorithm 1's text literally: the "direct
+      children" of a node are its nearest stored descendants at {e any}
+      depth. When a direct child sits more than one bit below its
+      parent, the merge authorizes routes that none of the input
+      tuples authorized — the output can be non-minimal even for
+      minimal input. The test suite exhibits such a case; see
+      EXPERIMENTS.md. Provided for fidelity and for the ablation
+      bench. *)
+
+type mode = Strict | Paper
+
+val eliminate_covered : Rpki.Vrp.t list -> Rpki.Vrp.t list
+(** Drop every tuple dominated by another of the same origin (prefix
+    covered, maxLength no larger). Lossless. Real RPKI corpora carry
+    such redundancy (e.g. a legacy enumeration next to a maxLength
+    cover), and Figure 3a's "status quo (compressed)" line depends on
+    removing it. *)
+
+val run : ?mode:mode -> ?eliminate:bool -> Rpki.Vrp.t list -> Rpki.Vrp.t list
+(** Compress. [eliminate] (default true) runs {!eliminate_covered}
+    first. Output is in canonical VRP order, duplicates removed. *)
+
+type stats = {
+  input : int;  (** Distinct input tuples. *)
+  covered_eliminated : int;  (** Removed by {!eliminate_covered}. *)
+  merges : int;  (** Algorithm 1 parent merges performed. *)
+  children_absorbed : int;  (** Tuples deleted by those merges. *)
+  output : int;
+}
+
+val run_with_stats :
+  ?mode:mode -> ?eliminate:bool -> Rpki.Vrp.t list -> Rpki.Vrp.t list * stats
+(** Like {!run}, also reporting where the compression came from —
+    covered-redundancy removal vs sibling merges (the two effects
+    behind Figure 3a's "status quo (compressed)" line). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val compression_ratio : before:int -> after:int -> float
+(** [(before - after) / before], as the paper reports (e.g. 15.90%). *)
+
+val figure2_example : unit -> Rpki.Vrp.t list * Rpki.Vrp.t list
+(** The paper's Figure 2 input and its compression, for documentation
+    and tests: AS 31283's four tuples collapse to two. *)

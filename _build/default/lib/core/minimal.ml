@@ -1,0 +1,49 @@
+module Pfx = Netaddr.Pfx
+module Vrp = Rpki.Vrp
+module Bgp_table = Dataset.Bgp_table
+
+let minimal_vrps table vrps =
+  let db = Rpki.Validation.create vrps in
+  Bgp_table.fold table ~init:[] ~f:(fun acc p a ->
+      if Rpki.Validation.authorized db p a then Vrp.exact p a :: acc else acc)
+  |> List.sort_uniq Vrp.compare
+
+let minimal_roas table roas =
+  List.filter_map
+    (fun roa ->
+      let asn = Rpki.Roa.asn roa in
+      let announced_valid =
+        List.concat_map
+          (fun (e : Rpki.Roa.entry) ->
+            let m = Rpki.Roa.effective_max_len e in
+            Bgp_table.announced_under table e.Rpki.Roa.prefix asn
+            |> List.filter_map (fun (q, len) -> if len <= m then Some q else None))
+          (Rpki.Roa.entries roa)
+        |> List.sort_uniq Pfx.compare
+      in
+      match announced_valid with
+      | [] -> None
+      | prefixes ->
+        Some (Rpki.Roa.make_exn asn (List.map (fun p -> { Rpki.Roa.prefix = p; max_len = None }) prefixes)))
+    roas
+
+let full_deployment_vrps table =
+  Bgp_table.fold table ~init:[] ~f:(fun acc p a -> Vrp.exact p a :: acc)
+  |> List.sort_uniq Vrp.compare
+
+let max_permissive_vrps table =
+  Bgp_table.fold table ~init:[] ~f:(fun acc p a ->
+      if Bgp_table.has_same_origin_ancestor table p a then acc
+      else Vrp.make_exn p ~max_len:(Pfx.addr_bits p) a :: acc)
+  |> List.sort_uniq Vrp.compare
+
+let is_minimal_vrp table (v : Vrp.t) =
+  let counts =
+    Bgp_table.count_by_length_under table v.Vrp.prefix v.Vrp.asn ~max_len:v.Vrp.max_len
+  in
+  let ok = ref true in
+  (* Minimal iff level i below the prefix is fully announced: 2^i
+     subprefixes (capped to avoid overflow; such counts are
+     unreachable in practice anyway). *)
+  Array.iteri (fun i c -> if c <> 1 lsl min i 30 then ok := false) counts;
+  !ok

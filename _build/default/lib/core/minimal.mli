@@ -1,0 +1,34 @@
+(** Minimal-ROA construction (paper §6–§7).
+
+    A ROA is minimal when it authorizes exactly the prefixes its AS
+    announces in BGP. These functions build the minimal counterparts
+    of an existing RPKI against a BGP table, plus the two
+    full-deployment corpora Table 1 compares against. *)
+
+val minimal_vrps : Dataset.Bgp_table.t -> Rpki.Vrp.t list -> Rpki.Vrp.t list
+(** The hardened "minimal ROAs, no maxLength" PDU list: one exact VRP
+    for every announced (prefix, AS) pair the input VRP set makes
+    valid. 52,745 tuples in the paper's 2017-06-01 dataset. *)
+
+val minimal_roas : Dataset.Bgp_table.t -> Rpki.Roa.t list -> Rpki.Roa.t list
+(** Per-ROA §7 conversion: each ROA is rewritten to enumerate exactly
+    the announced prefixes it made valid (no maxLength). ROAs left
+    empty (nothing they authorized is announced) are dropped; the
+    others keep a one-to-one correspondence with their originals, so
+    no new ROAs or signatures are needed — the paper's point. *)
+
+val full_deployment_vrps : Dataset.Bgp_table.t -> Rpki.Vrp.t list
+(** Full deployment with minimal ROAs and no maxLength: one exact VRP
+    per announced pair (776,945 in the paper). *)
+
+val max_permissive_vrps : Dataset.Bgp_table.t -> Rpki.Vrp.t list
+(** The lower-bound corpus: every announced pair covered by a
+    maximally-permissive ROA (maxLength 32/128); only pairs without a
+    same-origin announced ancestor survive as tuples (729,371 in the
+    paper). Vulnerable by construction — used only as a bound. *)
+
+val is_minimal_vrp : Dataset.Bgp_table.t -> Rpki.Vrp.t -> bool
+(** Per §4: a VRP [(p, m, a)] is minimal iff every subprefix of [p] up
+    to length [m] is announced by [a]. VRPs that fail this while
+    [m > length p] are the ones open to forged-origin subprefix
+    hijacks. *)

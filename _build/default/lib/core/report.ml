@@ -1,0 +1,65 @@
+let render_table1 ~scale rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "Table 1: number of PDUs processed by routers (scale %.3f)\n" scale);
+  let w_label =
+    List.fold_left (fun acc (r : Scenario.row) -> max acc (String.length r.Scenario.label)) 8 rows
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  %-*s | %10s | %10s | %s\n" w_label "scenario" "measured" "paper" "secure?");
+  Buffer.add_string buf (Printf.sprintf "  %s\n" (String.make (w_label + 40) '-'));
+  List.iter
+    (fun (r : Scenario.row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s | %10d | %10s | %s\n" w_label r.Scenario.label r.Scenario.pdus
+           (match r.Scenario.paper_pdus with Some v -> string_of_int v | None -> "-")
+           (if r.Scenario.secure then "yes" else "VULNERABLE")))
+    rows;
+  Buffer.contents buf
+
+let render_series ~title series =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  let weeks =
+    match series with [] -> [] | s :: _ -> List.map fst s.Scenario.points
+  in
+  let w_name =
+    List.fold_left (fun acc (s : Scenario.series) -> max acc (String.length s.Scenario.name)) 6 series
+  in
+  Buffer.add_string buf (Printf.sprintf "  %-*s |" w_name "series");
+  List.iter (fun w -> Buffer.add_string buf (Printf.sprintf " %8s" w)) weeks;
+  Buffer.add_string buf " | status\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %s\n" (String.make (w_name + (9 * List.length weeks) + 12) '-'));
+  List.iter
+    (fun (s : Scenario.series) ->
+      Buffer.add_string buf (Printf.sprintf "  %-*s |" w_name s.Scenario.name);
+      List.iter (fun (_, v) -> Buffer.add_string buf (Printf.sprintf " %8d" v)) s.Scenario.points;
+      Buffer.add_string buf
+        (if s.Scenario.secure then " | safe\n" else " | VULNERABLE\n"))
+    series;
+  Buffer.contents buf
+
+let render_stats stats = Format.asprintf "%a" Analysis.pp stats
+
+let csv_of_series series =
+  match series with
+  | [] -> ""
+  | first :: _ ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "week";
+    List.iter
+      (fun (s : Scenario.series) ->
+        Buffer.add_string buf (",\"" ^ s.Scenario.name ^ "\""))
+      series;
+    Buffer.add_char buf '\n';
+    List.iteri
+      (fun i (week, _) ->
+        Buffer.add_string buf week;
+        List.iter
+          (fun (s : Scenario.series) ->
+            Buffer.add_string buf ("," ^ string_of_int (snd (List.nth s.Scenario.points i))))
+          series;
+        Buffer.add_char buf '\n')
+      first.Scenario.points;
+    Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Text rendering of experiment results: Table 1 rows with
+    paper-vs-measured columns, Figure 3 series as aligned columns per
+    week, and §6 stat summaries. *)
+
+val render_table1 : scale:float -> Scenario.row list -> string
+(** [scale] annotates the header (paper values only comparable at
+    1.0). *)
+
+val render_series : title:string -> Scenario.series list -> string
+(** One column per week, one line per series, with the solid/dashed
+    security marking rendered as [safe]/[VULNERABLE]. *)
+
+val render_stats : Analysis.stats -> string
+
+val csv_of_series : Scenario.series list -> string
+(** week,series1,series2,... — convenient for external plotting. *)

@@ -1,0 +1,90 @@
+module Snapshot = Dataset.Snapshot
+
+type row = { label : string; pdus : int; secure : bool; paper_pdus : int option }
+type series = { name : string; secure : bool; points : (string * int) list }
+
+let compression_mode = ref Compress.Strict
+let compress vrps = Compress.run ~mode:!compression_mode vrps
+
+(* The PDU lists behind every scenario. Computed lazily per snapshot so
+   Figure 3 reuses the same pipeline code as Table 1. *)
+type pipelines = {
+  status_quo : Rpki.Vrp.t list lazy_t;
+  status_quo_compressed : Rpki.Vrp.t list lazy_t;
+  minimal : Rpki.Vrp.t list lazy_t;
+  minimal_compressed : Rpki.Vrp.t list lazy_t;
+  full : Rpki.Vrp.t list lazy_t;
+  full_compressed : Rpki.Vrp.t list lazy_t;
+  bound : Rpki.Vrp.t list lazy_t;
+}
+
+let pipelines_of (snap : Snapshot.t) =
+  let table = snap.Snapshot.table in
+  let status_quo = lazy (Snapshot.vrps snap) in
+  let minimal = lazy (Minimal.minimal_vrps table (Lazy.force status_quo)) in
+  let full = lazy (Minimal.full_deployment_vrps table) in
+  {
+    status_quo;
+    status_quo_compressed = lazy (compress (Lazy.force status_quo));
+    minimal;
+    minimal_compressed = lazy (compress (Lazy.force minimal));
+    full;
+    full_compressed = lazy (compress (Lazy.force full));
+    bound = lazy (Minimal.max_permissive_vrps table);
+  }
+
+let count p = List.length (Lazy.force p)
+
+let table1 snap =
+  let p = pipelines_of snap in
+  [ { label = "Today"; pdus = count p.status_quo; secure = false; paper_pdus = Some 39_949 };
+    { label = "Today (compressed)";
+      pdus = count p.status_quo_compressed;
+      secure = false;
+      paper_pdus = Some 33_615 };
+    { label = "Today, minimal ROAs, no maxLength";
+      pdus = count p.minimal;
+      secure = true;
+      paper_pdus = Some 52_745 };
+    { label = "Today, minimal ROAs, with maxLength (compressed)";
+      pdus = count p.minimal_compressed;
+      secure = true;
+      paper_pdus = Some 49_308 };
+    { label = "Full deployment, minimal ROAs, no maxLength";
+      pdus = count p.full;
+      secure = true;
+      paper_pdus = Some 776_945 };
+    { label = "Full deployment, minimal ROAs, with maxLength";
+      pdus = count p.full_compressed;
+      secure = true;
+      paper_pdus = Some 730_008 };
+    { label = "Full deployment, lower bound (max permissive ROAs)";
+      pdus = count p.bound;
+      secure = false;
+      paper_pdus = Some 729_371 } ]
+
+let over_weeks weeks select =
+  List.map
+    (fun (name, secure, pick) ->
+      { name;
+        secure;
+        points =
+          List.map
+            (fun (w : Dataset.Timeline.week) ->
+              let p = pipelines_of w.Dataset.Timeline.snapshot in
+              (w.Dataset.Timeline.label, count (pick p)))
+            weeks })
+    select
+
+let figure3a weeks =
+  over_weeks weeks
+    [ ("Status quo", false, fun p -> p.status_quo);
+      ("Status quo (compressed)", false, fun p -> p.status_quo_compressed);
+      ("Minimal ROAs, no maxLength", true, fun p -> p.minimal);
+      ("Minimal ROAs, with maxLength", true, fun p -> p.minimal_compressed) ]
+
+let figure3b weeks =
+  over_weeks weeks
+    [ ("Minimal ROAs, no maxLength", true, fun p -> p.full);
+      ("Minimal ROAs, with maxLength", true, fun p -> p.full_compressed);
+      ("Lower bound on # PDUs", false, fun p -> p.bound) ]

@@ -1,0 +1,35 @@
+(** Experiment drivers: one function per table/figure of the paper.
+
+    Each returns plain data; {!Report} renders it and the bench
+    harness prints paper-vs-measured comparisons. *)
+
+type row = {
+  label : string;
+  pdus : int;
+  secure : bool;
+      (** Safe against forged-origin subprefix hijacks (Table 1's
+          check/cross column; Figure 3's solid/dashed distinction). *)
+  paper_pdus : int option;
+      (** The value the paper reports for this row on the 2017-06-01
+          dataset, when run at paper scale. *)
+}
+
+val table1 : Dataset.Snapshot.t -> row list
+(** The seven Table 1 scenarios, in the paper's order:
+    status quo; status quo compressed; minimal no-maxLength; minimal
+    compressed; full-deployment minimal; full-deployment compressed;
+    max-permissive lower bound. *)
+
+type series = { name : string; secure : bool; points : (string * int) list }
+
+val figure3a : Dataset.Timeline.week list -> series list
+(** Today's-deployment PDU counts per week: status quo, status quo
+    compressed, minimal no-maxLength, minimal compressed. *)
+
+val figure3b : Dataset.Timeline.week list -> series list
+(** Full-deployment PDU counts per week: minimal no-maxLength, minimal
+    compressed, lower bound. *)
+
+val compression_mode : Compress.mode ref
+(** Mode used by all scenario pipelines (default {!Compress.Strict});
+    the ablation bench flips it to {!Compress.Paper}. *)

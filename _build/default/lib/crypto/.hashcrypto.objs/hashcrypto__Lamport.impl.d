@@ -1,0 +1,1 @@
+lib/crypto/lamport.ml: Array Buffer Char Printf Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/merkle.ml: Array Buffer Lamport Printf Result Sha256 String

@@ -1,0 +1,24 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let b = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 b 0 (String.length key);
+  Bytes.unsafe_to_string b
+
+let xor_with s c =
+  String.map (fun ch -> Char.chr (Char.code ch lxor c)) s
+
+let sha256 ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest_concat [ xor_with key 0x36; msg ] in
+  Sha256.digest_concat [ xor_with key 0x5c; inner ]
+
+let verify ~key ~msg ~tag =
+  let expected = sha256 ~key msg in
+  if String.length tag <> String.length expected then false
+  else begin
+    let diff = ref 0 in
+    String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code expected.[i])) tag;
+    !diff = 0
+  end

@@ -1,0 +1,9 @@
+(** HMAC-SHA256 (RFC 2104), verified against the RFC 4231 test vectors. *)
+
+val sha256 : key:string -> string -> string
+(** [sha256 ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under
+    [key]. Keys longer than the 64-byte block are hashed first, as the
+    RFC requires. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time tag comparison. *)

@@ -1,0 +1,1 @@
+lib/dataset/bgp_table.ml: Array List Netaddr Ptrie Rpki

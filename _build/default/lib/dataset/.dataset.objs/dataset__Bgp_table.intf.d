@@ -1,0 +1,1 @@
+lib/dataset/bgp_table.mli: Netaddr Rpki

@@ -1,0 +1,1 @@
+lib/dataset/io.ml: Bgp_table Buffer List Netaddr Printf Result Rpki String

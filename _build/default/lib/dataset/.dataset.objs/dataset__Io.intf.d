@@ -1,0 +1,1 @@
+lib/dataset/io.mli: Bgp_table Rpki

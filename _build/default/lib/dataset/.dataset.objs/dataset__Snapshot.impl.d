@@ -1,0 +1,1 @@
+lib/dataset/snapshot.ml: Bgp_table Hashtbl Int64 List Netaddr Rng Rpki

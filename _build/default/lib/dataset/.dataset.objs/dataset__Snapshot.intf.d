@@ -1,0 +1,1 @@
+lib/dataset/snapshot.mli: Bgp_table Rpki

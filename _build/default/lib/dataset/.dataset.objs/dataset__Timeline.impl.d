@@ -1,0 +1,1 @@
+lib/dataset/timeline.ml: List Snapshot

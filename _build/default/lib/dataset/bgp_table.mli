@@ -1,0 +1,48 @@
+(** A global BGP table as a set of announced (prefix, origin AS) pairs
+    — the view of the routing system the paper's measurements consume
+    (their RouteViews dataset has 776,945 such pairs on 2017-06-01).
+
+    Beyond membership, the structure answers the coverage queries the
+    §6/§7 pipelines need: per-origin subtree enumeration (for
+    minimality checks), same-origin ancestor tests (for the
+    maximally-permissive lower bound) and counts per prefix length. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Netaddr.Pfx.t -> Rpki.Asnum.t -> unit
+(** Idempotent: the table is a set of pairs. *)
+
+val mem : t -> Netaddr.Pfx.t -> Rpki.Asnum.t -> bool
+val cardinal : t -> int
+
+val iter : t -> (Netaddr.Pfx.t -> Rpki.Asnum.t -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> Netaddr.Pfx.t -> Rpki.Asnum.t -> 'a) -> 'a
+val pairs : t -> (Netaddr.Pfx.t * Rpki.Asnum.t) list
+
+val origins : t -> Netaddr.Pfx.t -> Rpki.Asnum.t list
+(** Who originates exactly this prefix (usually one AS; several for a
+    MOAS conflict). *)
+
+val announced_under : t -> Netaddr.Pfx.t -> Rpki.Asnum.t -> (Netaddr.Pfx.t * int) list
+(** Announced pairs of the given origin covered by [p] (including [p]
+    itself if announced), as (prefix, length) — the raw material for
+    both minimal-ROA construction and minimality checking. *)
+
+val count_by_length_under : t -> Netaddr.Pfx.t -> Rpki.Asnum.t -> max_len:int -> int array
+(** [count_by_length_under t p a ~max_len].(i) is how many subprefixes
+    of [p] of length [length p + i] AS [a] announces, for lengths up to
+    [max_len]. Index 0 is [p] itself. *)
+
+val has_same_origin_ancestor : t -> Netaddr.Pfx.t -> Rpki.Asnum.t -> bool
+(** True when some strict super-prefix of [p] is also announced by
+    [a] — i.e. (p, a) would be absorbed by a maximally-permissive ROA
+    on the ancestor (the paper's lower-bound argument). *)
+
+val root_pair_count : t -> int
+(** Number of pairs with no same-origin announced ancestor: the
+    maximally-permissive lower bound on PDUs (729,371 in the paper). *)
+
+val distinct_prefix_count : t -> int
+val as_count : t -> int

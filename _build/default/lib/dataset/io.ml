@@ -1,0 +1,97 @@
+module Pfx = Netaddr.Pfx
+module Asnum = Rpki.Asnum
+
+let table_to_csv table =
+  let buf = Buffer.create (Bgp_table.cardinal table * 24) in
+  Bgp_table.iter table (fun p a ->
+      Buffer.add_string buf (Pfx.to_string p);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int (Asnum.to_int a));
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let significant_lines s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let table_of_csv s =
+  let table = Bgp_table.create () in
+  let parse_line line =
+    match String.split_on_char ',' line with
+    | [ pfx; asn ] ->
+      let* p = Pfx.of_string (String.trim pfx) in
+      let* a = Asnum.of_string (String.trim asn) in
+      Bgp_table.add table p a;
+      Ok ()
+    | _ -> Error (Printf.sprintf "malformed table line %S" line)
+  in
+  let rec go = function
+    | [] -> Ok table
+    | l :: rest ->
+      let* () = parse_line l in
+      go rest
+  in
+  go (significant_lines s)
+
+let entry_to_string (e : Rpki.Roa.entry) =
+  match e.Rpki.Roa.max_len with
+  | Some m when m > Pfx.length e.Rpki.Roa.prefix ->
+    Printf.sprintf "%s-%d" (Pfx.to_string e.Rpki.Roa.prefix) m
+  | Some _ | None -> Pfx.to_string e.Rpki.Roa.prefix
+
+let roas_to_lines roas =
+  let buf = Buffer.create (List.length roas * 48) in
+  List.iter
+    (fun roa ->
+      Buffer.add_string buf (string_of_int (Asnum.to_int (Rpki.Roa.asn roa)));
+      Buffer.add_char buf '|';
+      Buffer.add_string buf
+        (String.concat "," (List.map entry_to_string (Rpki.Roa.entries roa)));
+      Buffer.add_char buf '\n')
+    roas;
+  Buffer.contents buf
+
+let entry_of_string s =
+  match String.index_opt s '/' with
+  | None -> Error (Printf.sprintf "malformed ROA prefix %S" s)
+  | Some slash ->
+    (match String.index_from_opt s slash '-' with
+     | None ->
+       let* prefix = Pfx.of_string s in
+       Ok { Rpki.Roa.prefix; max_len = None }
+     | Some dash ->
+       let* prefix = Pfx.of_string (String.sub s 0 dash) in
+       (match int_of_string_opt (String.sub s (dash + 1) (String.length s - dash - 1)) with
+        | Some m -> Ok { Rpki.Roa.prefix; max_len = Some m }
+        | None -> Error (Printf.sprintf "malformed maxLength in %S" s)))
+
+let roas_of_lines s =
+  let parse_line line =
+    match String.index_opt line '|' with
+    | None -> Error (Printf.sprintf "malformed ROA line %S" line)
+    | Some bar ->
+      let* asn = Asnum.of_string (String.trim (String.sub line 0 bar)) in
+      let entries_s =
+        String.split_on_char ',' (String.sub line (bar + 1) (String.length line - bar - 1))
+      in
+      let* entries =
+        List.fold_left
+          (fun acc e ->
+            let* acc = acc in
+            let* entry = entry_of_string (String.trim e) in
+            Ok (entry :: acc))
+          (Ok []) entries_s
+        |> Result.map List.rev
+      in
+      Rpki.Roa.make asn entries
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest ->
+      let* roa = parse_line l in
+      go (roa :: acc) rest
+  in
+  go [] (significant_lines s)

@@ -1,0 +1,18 @@
+(** Textual interchange for datasets.
+
+    BGP tables travel as "prefix,origin-ASN" CSV (the shape of a
+    RouteViews-derived pairs file), so experiments can be re-run
+    against externally produced tables and synthetic ones can be
+    exported for other tools. VRP CSV lives in
+    {!Rpki.Scan_roas}. *)
+
+val table_to_csv : Bgp_table.t -> string
+(** One "prefix,asn" line per announced pair, in canonical order. *)
+
+val table_of_csv : string -> (Bgp_table.t, string) result
+(** Strict parse; blank lines and [#] comments are skipped. *)
+
+val roas_to_lines : Rpki.Roa.t list -> string
+(** One ROA per line: "asn|prefix[-maxlen],prefix[-maxlen],...". *)
+
+val roas_of_lines : string -> (Rpki.Roa.t list, string) result

@@ -1,0 +1,19 @@
+type week = { label : string; snapshot : Snapshot.t }
+
+let labels = [ "4/13"; "4/20"; "4/27"; "5/4"; "5/11"; "5/18"; "5/25"; "6/1" ]
+
+let generate ?(params = Snapshot.default_params) ?(weekly_growth = 0.003) ~seed () =
+  List.mapi
+    (fun i label ->
+      let weeks_before_last = float_of_int (List.length labels - 1 - i) in
+      let factor = 1.0 /. ((1.0 +. weekly_growth) ** weeks_before_last) in
+      let params =
+        { params with
+          Snapshot.pairs_target =
+            max 100 (int_of_float (float_of_int params.Snapshot.pairs_target *. factor)) }
+      in
+      (* Same seed across weeks: consecutive snapshots share their
+         generation prefix, so week-to-week change is genuine growth
+         plus churn, not resampling noise. *)
+      { label; snapshot = Snapshot.generate ~params ~seed () })
+    labels

@@ -1,0 +1,22 @@
+(** Weekly snapshot series for Figure 3.
+
+    The paper aggregates ROAs and BGP tables weekly from 2017-04-13 to
+    2017-06-01 (eight snapshots). This module generates the same
+    cadence synthetically: each week's snapshot grows slightly (both
+    the routing table and RPKI adoption drift upward, as they did over
+    those weeks) and is deterministic in the base seed. *)
+
+type week = { label : string; snapshot : Snapshot.t }
+
+val labels : string list
+(** ["4/13"; "4/20"; ...; "6/1"] — the paper's x axis. *)
+
+val generate :
+  ?params:Snapshot.params ->
+  ?weekly_growth:float ->
+  seed:int ->
+  unit ->
+  week list
+(** Eight snapshots. [weekly_growth] is the per-week relative increase
+    in table size (default 0.003, matching the paper's ~2% growth over
+    the window; week 8 lands on [params.pairs_target]). *)

@@ -1,0 +1,1 @@
+lib/experiments/hijack_eval.ml: Array Buffer Hashtbl List Netaddr Printf Rng Rpki String Topology

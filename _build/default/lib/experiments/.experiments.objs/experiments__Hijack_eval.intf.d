@@ -1,0 +1,1 @@
+lib/experiments/hijack_eval.mli: Rpki Topology

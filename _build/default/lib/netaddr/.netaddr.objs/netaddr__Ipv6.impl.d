@@ -1,0 +1,1 @@
+lib/netaddr/ipv6.ml: Array Buffer Char Format Int Int64 Ipv4 List Printf String

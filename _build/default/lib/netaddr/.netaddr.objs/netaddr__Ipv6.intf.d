@@ -1,0 +1,1 @@
+lib/netaddr/ipv6.mli: Format

@@ -1,0 +1,1 @@
+lib/netaddr/pfx.ml: Format Hashtbl Ipv4 Ipv6 List Map Option Result Set String

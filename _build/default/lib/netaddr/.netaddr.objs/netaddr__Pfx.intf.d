@@ -1,0 +1,1 @@
+lib/netaddr/pfx.mli: Format Hashtbl Ipv4 Ipv6 Map Set

@@ -1,0 +1,268 @@
+type t = { hi : int64; lo : int64 }
+
+let bits = 128
+let zero = { hi = 0L; lo = 0L }
+let make hi lo = { hi; lo }
+let high_bits a = a.hi
+let low_bits a = a.lo
+
+let of_groups g =
+  if Array.length g <> 8 then invalid_arg "Ipv6.of_groups: need 8 groups";
+  let half off =
+    let v = ref 0L in
+    for i = 0 to 3 do
+      v := Int64.logor (Int64.shift_left !v 16) (Int64.of_int (g.(off + i) land 0xffff))
+    done;
+    !v
+  in
+  { hi = half 0; lo = half 4 }
+
+let to_groups a =
+  let g = Array.make 8 0 in
+  for i = 0 to 3 do
+    g.(i) <- Int64.to_int (Int64.logand (Int64.shift_right_logical a.hi ((3 - i) * 16)) 0xffffL);
+    g.(4 + i) <- Int64.to_int (Int64.logand (Int64.shift_right_logical a.lo ((3 - i) * 16)) 0xffffL)
+  done;
+  g
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+(* Split on ':' into raw tokens, then expand a single "::" gap. An
+   embedded IPv4 tail ("::ffff:1.2.3.4") contributes two groups. *)
+let of_string s =
+  let err = Error (Printf.sprintf "invalid IPv6 address %S" s) in
+  let n = String.length s in
+  if n < 2 then err
+  else begin
+    (* Locate "::" if present. *)
+    let dcolon = ref None in
+    let i = ref 0 in
+    (try
+       while !i < n - 1 do
+         if s.[!i] = ':' && s.[!i + 1] = ':' then begin
+           if !dcolon <> None then raise Exit;
+           dcolon := Some !i;
+           i := !i + 2
+         end
+         else incr i
+       done
+     with Exit -> dcolon := Some (-1));
+    if !dcolon = Some (-1) then err (* two "::" *)
+    else begin
+      let parse_side str =
+        (* Parse a ':'-separated list of hex groups, possibly ending with a
+           dotted quad. Returns the group list or None. *)
+        if str = "" then Some []
+        else
+          let parts = String.split_on_char ':' str in
+          let rec go acc = function
+            | [] -> Some (List.rev acc)
+            | [ last ] when String.contains last '.' ->
+              (match Ipv4.of_string last with
+               | Ok v4 ->
+                 let v = Ipv4.to_int v4 in
+                 Some (List.rev ((v land 0xffff) :: ((v lsr 16) land 0xffff) :: acc))
+               | Error _ -> None)
+            | p :: rest ->
+              let len = String.length p in
+              if len = 0 || len > 4 then None
+              else
+                let rec hex i acc =
+                  if i = len then Some acc
+                  else
+                    match hex_digit p.[i] with
+                    | Some d -> hex (i + 1) ((acc lsl 4) lor d)
+                    | None -> None
+                in
+                (match hex 0 0 with
+                 | Some v -> go (v :: acc) rest
+                 | None -> None)
+          in
+          go [] parts
+      in
+      match !dcolon with
+      | Some pos ->
+        let left = String.sub s 0 pos in
+        let right = String.sub s (pos + 2) (n - pos - 2) in
+        (match parse_side left, parse_side right with
+         | Some l, Some r ->
+           let gap = 8 - List.length l - List.length r in
+           if gap < 1 then err
+           else
+             let groups = l @ List.init gap (fun _ -> 0) @ r in
+             Ok (of_groups (Array.of_list groups))
+         | _ -> err)
+      | None ->
+        (match parse_side s with
+         | Some g when List.length g = 8 -> Ok (of_groups (Array.of_list g))
+         | _ -> err)
+    end
+  end
+
+let of_string_exn s =
+  match of_string s with Ok a -> a | Error e -> invalid_arg e
+
+(* RFC 5952: compress the longest run of >= 2 zero groups, leftmost wins. *)
+let to_string a =
+  let g = to_groups a in
+  let best_start = ref (-1) and best_len = ref 0 in
+  let cur_start = ref (-1) and cur_len = ref 0 in
+  for i = 0 to 7 do
+    if g.(i) = 0 then begin
+      if !cur_start < 0 then cur_start := i;
+      incr cur_len;
+      if !cur_len > !best_len then begin
+        best_len := !cur_len;
+        best_start := !cur_start
+      end
+    end
+    else begin
+      cur_start := -1;
+      cur_len := 0
+    end
+  done;
+  let buf = Buffer.create 40 in
+  if !best_len >= 2 then begin
+    for i = 0 to !best_start - 1 do
+      if i > 0 then Buffer.add_char buf ':';
+      Buffer.add_string buf (Printf.sprintf "%x" g.(i))
+    done;
+    Buffer.add_string buf "::";
+    for i = !best_start + !best_len to 7 do
+      if i > !best_start + !best_len then Buffer.add_char buf ':';
+      Buffer.add_string buf (Printf.sprintf "%x" g.(i))
+    done
+  end
+  else
+    for i = 0 to 7 do
+      if i > 0 then Buffer.add_char buf ':';
+      Buffer.add_string buf (Printf.sprintf "%x" g.(i))
+    done;
+  Buffer.contents buf
+
+let compare a b =
+  (* Unsigned comparison of the 128-bit value. *)
+  let c = Int64.unsigned_compare a.hi b.hi in
+  if c <> 0 then c else Int64.unsigned_compare a.lo b.lo
+
+let equal a b = Int64.equal a.hi b.hi && Int64.equal a.lo b.lo
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+let bit a i =
+  if i < 0 || i >= bits then invalid_arg "Ipv6.bit: index out of range";
+  if i < 64 then Int64.logand (Int64.shift_right_logical a.hi (63 - i)) 1L = 1L
+  else Int64.logand (Int64.shift_right_logical a.lo (127 - i)) 1L = 1L
+
+let set_bit a i v =
+  if i < 0 || i >= bits then invalid_arg "Ipv6.set_bit: index out of range";
+  if i < 64 then
+    let m = Int64.shift_left 1L (63 - i) in
+    { a with hi = (if v then Int64.logor a.hi m else Int64.logand a.hi (Int64.lognot m)) }
+  else
+    let m = Int64.shift_left 1L (127 - i) in
+    { a with lo = (if v then Int64.logor a.lo m else Int64.logand a.lo (Int64.lognot m)) }
+
+(* Mask with the top [l] bits set. *)
+let mask l =
+  if l = 0 then zero
+  else if l <= 64 then
+    { hi = (if l = 64 then -1L else Int64.shift_left (-1L) (64 - l)); lo = 0L }
+  else { hi = -1L; lo = (if l = 128 then -1L else Int64.shift_left (-1L) (128 - l)) }
+
+let logand a b = { hi = Int64.logand a.hi b.hi; lo = Int64.logand a.lo b.lo }
+let logor a b = { hi = Int64.logor a.hi b.hi; lo = Int64.logor a.lo b.lo }
+let lognot a = { hi = Int64.lognot a.hi; lo = Int64.lognot a.lo }
+
+module Prefix = struct
+  type addr = t
+
+  let addr_equal = equal
+  type nonrec t = { net : t; len : int }
+
+  let make a l =
+    if l < 0 || l > bits then invalid_arg "Ipv6.Prefix.make: bad length";
+    { net = logand a (mask l); len = l }
+
+  let network p = p.net
+  let length p = p.len
+
+  let parse masking s =
+    match String.index_opt s '/' with
+    | None -> Error (Printf.sprintf "invalid IPv6 prefix %S: missing '/'" s)
+    | Some i ->
+      let addr_s = String.sub s 0 i and len_s = String.sub s (i + 1) (String.length s - i - 1) in
+      (match of_string addr_s with
+       | Error e -> Error e
+       | Ok a ->
+         let l =
+           if String.length len_s = 0 || String.length len_s > 3 then None
+           else if String.exists (fun c -> c < '0' || c > '9') len_s then None
+           else
+             let v = int_of_string len_s in
+             if v > bits then None else Some v
+         in
+         (match l with
+          | None -> Error (Printf.sprintf "invalid IPv6 prefix %S: bad length" s)
+          | Some l ->
+            if (not masking) && not (equal (logand a (mask l)) a) then
+              Error (Printf.sprintf "invalid IPv6 prefix %S: host bits set" s)
+            else Ok (make a l)))
+
+  let of_string s = parse false s
+  let of_string_loose s = parse true s
+
+  let of_string_exn s =
+    match of_string s with Ok p -> p | Error e -> invalid_arg e
+
+  let to_string p = Printf.sprintf "%s/%d" (to_string p.net) p.len
+
+  let compare p q =
+    let c = compare p.net q.net in
+    if c <> 0 then c else Int.compare p.len q.len
+
+  let equal p q = addr_equal p.net q.net && Int.equal p.len q.len
+  let pp ppf p = Format.pp_print_string ppf (to_string p)
+  let mem a p = addr_equal (logand a (mask p.len)) p.net
+
+  let subset sub sup =
+    sub.len >= sup.len && addr_equal (logand sub.net (mask sup.len)) sup.net
+
+  let strict_subset sub sup = sub.len > sup.len && subset sub sup
+  let bit p i = bit p.net i
+
+  let split p =
+    if p.len >= bits then None
+    else
+      let left = { net = p.net; len = p.len + 1 } in
+      let right = { net = set_bit p.net p.len true; len = p.len + 1 } in
+      Some (left, right)
+
+  let parent p = if p.len = 0 then None else Some (make p.net (p.len - 1))
+
+  let sibling p =
+    if p.len = 0 then None
+    else Some { net = set_bit p.net (p.len - 1) (not (bit p (p.len - 1))); len = p.len }
+
+  let subprefixes p l =
+    if l < p.len || l > bits then invalid_arg "Ipv6.Prefix.subprefixes: bad length";
+    if l - p.len > 20 then invalid_arg "Ipv6.Prefix.subprefixes: enumeration too large";
+    let rec go ps depth =
+      if depth = 0 then ps
+      else
+        let expand acc q =
+          match split q with
+          | Some (a, b) -> b :: a :: acc
+          | None -> acc
+        in
+        go (List.rev (List.fold_left expand [] ps)) (depth - 1)
+    in
+    go [ p ] (l - p.len)
+
+  (* [last] address of a prefix, used by [mem]-style range logic if needed. *)
+  let _last p = logor p.net (lognot (mask p.len))
+end

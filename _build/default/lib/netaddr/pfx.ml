@@ -1,0 +1,130 @@
+type t =
+  | V4 of Ipv4.Prefix.t
+  | V6 of Ipv6.Prefix.t
+
+type afi = Afi_v4 | Afi_v6
+
+let afi = function V4 _ -> Afi_v4 | V6 _ -> Afi_v6
+let addr_bits = function V4 _ -> Ipv4.bits | V6 _ -> Ipv6.bits
+let length = function V4 p -> Ipv4.Prefix.length p | V6 p -> Ipv6.Prefix.length p
+let v4 p = V4 p
+let v6 p = V6 p
+
+let of_string s =
+  if String.contains s ':' then Result.map v6 (Ipv6.Prefix.of_string s)
+  else Result.map v4 (Ipv4.Prefix.of_string s)
+
+let of_string_exn s =
+  match of_string s with Ok p -> p | Error e -> invalid_arg e
+
+let to_string = function
+  | V4 p -> Ipv4.Prefix.to_string p
+  | V6 p -> Ipv6.Prefix.to_string p
+
+let compare a b =
+  match a, b with
+  | V4 p, V4 q -> Ipv4.Prefix.compare p q
+  | V6 p, V6 q -> Ipv6.Prefix.compare p q
+  | V4 _, V6 _ -> -1
+  | V6 _, V4 _ -> 1
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | V4 p -> Hashtbl.hash (0, Ipv4.Prefix.network p, Ipv4.Prefix.length p)
+  | V6 p ->
+    let n = Ipv6.Prefix.network p in
+    Hashtbl.hash (1, Ipv6.high_bits n, Ipv6.low_bits n, Ipv6.Prefix.length p)
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+let subset sub sup =
+  match sub, sup with
+  | V4 p, V4 q -> Ipv4.Prefix.subset p q
+  | V6 p, V6 q -> Ipv6.Prefix.subset p q
+  | V4 _, V6 _ | V6 _, V4 _ -> false
+
+let strict_subset sub sup =
+  match sub, sup with
+  | V4 p, V4 q -> Ipv4.Prefix.strict_subset p q
+  | V6 p, V6 q -> Ipv6.Prefix.strict_subset p q
+  | V4 _, V6 _ | V6 _, V4 _ -> false
+
+let bit p i =
+  match p with V4 q -> Ipv4.Prefix.bit q i | V6 q -> Ipv6.Prefix.bit q i
+
+let split = function
+  | V4 p -> Option.map (fun (a, b) -> (V4 a, V4 b)) (Ipv4.Prefix.split p)
+  | V6 p -> Option.map (fun (a, b) -> (V6 a, V6 b)) (Ipv6.Prefix.split p)
+
+let parent = function
+  | V4 p -> Option.map v4 (Ipv4.Prefix.parent p)
+  | V6 p -> Option.map v6 (Ipv6.Prefix.parent p)
+
+let sibling = function
+  | V4 p -> Option.map v4 (Ipv4.Prefix.sibling p)
+  | V6 p -> Option.map v6 (Ipv6.Prefix.sibling p)
+
+let is_left_child p =
+  let l = length p in
+  l = 0 || not (bit p (l - 1))
+
+let subprefixes p l =
+  match p with
+  | V4 q ->
+    if l - Ipv4.Prefix.length q > 20 then
+      invalid_arg "Pfx.subprefixes: enumeration too large"
+    else List.map v4 (Ipv4.Prefix.subprefixes q l)
+  | V6 q -> List.map v6 (Ipv6.Prefix.subprefixes q l)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+module Tbl = Hashtbl.Make (Hashed)
+
+(* Aggregation: absorb covered prefixes with one sorted sweep, then
+   merge complete sibling pairs bottom-up until nothing merges. *)
+let aggregate prefixes =
+  let drop_covered sorted =
+    List.fold_left
+      (fun acc q ->
+        match acc with
+        | keeper :: _ when subset q keeper -> acc
+        | _ -> q :: acc)
+      [] sorted
+    |> List.rev
+  in
+  let rec merge_pass set =
+    (* Find any left child whose sibling is present and whose parent
+       would cover exactly the pair. *)
+    let merged =
+      Set.fold
+        (fun q acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if is_left_child q && length q > 0 then
+              match sibling q, parent q with
+              | Some sib, Some par when Set.mem sib set -> Some (q, sib, par)
+              | _ -> None
+            else None)
+        set None
+    in
+    match merged with
+    | None -> set
+    | Some (l, r, par) -> merge_pass (Set.add par (Set.remove l (Set.remove r set)))
+  in
+  let deduped = drop_covered (List.sort_uniq compare prefixes) in
+  Set.elements (merge_pass (Set.of_list deduped))

@@ -1,0 +1,71 @@
+(** Address-family-independent IP prefixes.
+
+    This is the type the rest of the project manipulates: ROA prefixes,
+    VRPs, BGP NLRI and trie keys are all [Pfx.t]. Bit 0 of a prefix is
+    the most significant bit of its network address. *)
+
+type t =
+  | V4 of Ipv4.Prefix.t
+  | V6 of Ipv6.Prefix.t
+
+type afi = Afi_v4 | Afi_v6
+(** Address family indicator. *)
+
+val afi : t -> afi
+
+val addr_bits : t -> int
+(** Width of the address space: 32 for IPv4, 128 for IPv6. Also the
+    largest legal maxLength for a ROA on this prefix (RFC 6482). *)
+
+val length : t -> int
+(** Prefix length in bits. *)
+
+val v4 : Ipv4.Prefix.t -> t
+val v6 : Ipv6.Prefix.t -> t
+
+val of_string : string -> (t, string) result
+(** Parse either family; a ':' anywhere in the string selects IPv6. *)
+
+val of_string_exn : string -> t
+val to_string : t -> string
+
+val compare : t -> t -> int
+(** Total order: all IPv4 prefixes before all IPv6, then by network
+    address, then by length. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val subset : t -> t -> bool
+(** [subset sub sup]: [sup] covers [sub] (same family, [sup] shorter or
+    equal, network bits agree). Reflexive. *)
+
+val strict_subset : t -> t -> bool
+
+val bit : t -> int -> bool
+(** [bit p i] for [0 <= i < length p]. *)
+
+val split : t -> (t * t) option
+(** Both one-bit-longer children, or [None] at the host-route limit. *)
+
+val parent : t -> t option
+val sibling : t -> t option
+
+val is_left_child : t -> bool
+(** [is_left_child p] is true when [p]'s last bit is 0, i.e. [p] is the
+    low half of its parent. /0 prefixes are conventionally left. *)
+
+val subprefixes : t -> int -> t list
+(** All subprefixes of exactly the given length (bounded enumeration;
+    see {!Ipv6.Prefix.subprefixes} for limits). *)
+
+val aggregate : t list -> t list
+(** Route aggregation (RIPE-399 §3): the minimal prefix list covering
+    exactly the same address space — contained prefixes are absorbed
+    and complete sibling pairs merge into their parent, recursively.
+    Works across mixed families; output is in canonical order. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,157 @@
+module Pfx = Netaddr.Pfx
+
+type 'a node = {
+  prefix : Pfx.t;
+  mutable value : 'a option;
+  mutable left : 'a node option;
+  mutable right : 'a node option;
+}
+
+type 'a t = { family : Pfx.afi; root : 'a node; mutable count : int }
+
+let root_prefix = function
+  | Pfx.Afi_v4 -> Pfx.of_string_exn "0.0.0.0/0"
+  | Pfx.Afi_v6 -> Pfx.of_string_exn "::/0"
+
+let create family =
+  { family; root = { prefix = root_prefix family; value = None; left = None; right = None }; count = 0 }
+
+let afi t = t.family
+let cardinal t = t.count
+let is_empty t = t.count = 0
+
+let check_family t p =
+  if Pfx.afi p <> t.family then invalid_arg "Ptrie: address family mismatch"
+
+(* Child of [n] in the direction of bit [i] of [p]; [create] makes it. *)
+let step ~create n p i =
+  let right = Pfx.bit p i in
+  let get, set =
+    if right then (fun () -> n.right), fun c -> n.right <- Some c
+    else (fun () -> n.left), fun c -> n.left <- Some c
+  in
+  match get () with
+  | Some c -> Some c
+  | None ->
+    if not create then None
+    else
+      match Pfx.split n.prefix with
+      | None -> None
+      | Some (l, r) ->
+        let c = { prefix = (if right then r else l); value = None; left = None; right = None } in
+        set c;
+        Some c
+
+let locate ~create t p =
+  check_family t p;
+  let len = Pfx.length p in
+  let rec go n i =
+    if i = len then Some n
+    else
+      match step ~create n p i with
+      | Some c -> go c (i + 1)
+      | None -> None
+  in
+  go t.root 0
+
+let add t p v =
+  match locate ~create:true t p with
+  | Some n ->
+    if n.value = None then t.count <- t.count + 1;
+    n.value <- Some v
+  | None -> assert false
+
+let find t p =
+  match locate ~create:false t p with
+  | Some n -> n.value
+  | None -> None
+
+let mem t p = find t p <> None
+
+let update t p f =
+  match f (find t p) with
+  | Some v -> add t p v
+  | None ->
+    (match locate ~create:false t p with
+     | Some n when n.value <> None ->
+       n.value <- None;
+       t.count <- t.count - 1
+     | Some _ | None -> ())
+
+(* Removal unbinds the node, then prunes the spine of childless,
+   valueless nodes so long-lived tries don't leak interior paths. *)
+let remove t p =
+  check_family t p;
+  let len = Pfx.length p in
+  let rec go n i =
+    if i = len then begin
+      if n.value <> None then begin
+        n.value <- None;
+        t.count <- t.count - 1
+      end
+    end
+    else
+      match step ~create:false n p i with
+      | None -> ()
+      | Some c ->
+        go c (i + 1);
+        if c.value = None && c.left = None && c.right = None then
+          if Pfx.bit p i then n.right <- None else n.left <- None
+  in
+  go t.root 0
+
+let longest_match t p =
+  check_family t p;
+  let len = Pfx.length p in
+  let rec go n i best =
+    let best = match n.value with Some v -> Some (n.prefix, v) | None -> best in
+    if i = len then best
+    else
+      match step ~create:false n p i with
+      | Some c -> go c (i + 1) best
+      | None -> best
+  in
+  go t.root 0 None
+
+let covering t p =
+  check_family t p;
+  let len = Pfx.length p in
+  let rec go n i acc =
+    let acc = match n.value with Some v -> (n.prefix, v) :: acc | None -> acc in
+    if i = len then List.rev acc
+    else
+      match step ~create:false n p i with
+      | Some c -> go c (i + 1) acc
+      | None -> List.rev acc
+  in
+  go t.root 0 []
+
+let rec fold_node n ~init ~f =
+  let init = match n.value with Some v -> f init n.prefix v | None -> init in
+  let init = match n.left with Some c -> fold_node c ~init ~f | None -> init in
+  match n.right with Some c -> fold_node c ~init ~f | None -> init
+
+let covered_by t p =
+  match locate ~create:false t p with
+  | None -> []
+  | Some n -> List.rev (fold_node n ~init:[] ~f:(fun acc q v -> (q, v) :: acc))
+
+let has_descendant t p =
+  match locate ~create:false t p with
+  | None -> false
+  | Some n ->
+    let rec any strict m =
+      (strict && m.value <> None)
+      || (match m.left with Some c -> any true c | None -> false)
+      || (match m.right with Some c -> any true c | None -> false)
+    in
+    any false n
+
+let fold t ~init ~f = fold_node t.root ~init ~f
+let iter t f = fold t ~init:() ~f:(fun () p v -> f p v)
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc p v -> (p, v) :: acc))
+
+let of_list family l =
+  let t = create family in
+  List.iter (fun (p, v) -> add t p v) l;
+  t

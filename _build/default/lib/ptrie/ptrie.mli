@@ -1,0 +1,63 @@
+(** Binary prefix trie keyed by {!Netaddr.Pfx.t}.
+
+    One trie holds prefixes of a single address family: the root is the
+    /0 prefix and each node's two children are its one-bit-longer
+    subprefixes. Nodes are materialised only along paths to stored
+    prefixes, so space is proportional to the total key length of the
+    stored set.
+
+    The trie supports the three lookups the RPKI data path needs:
+    exact match (route to VRP), longest-prefix match (forwarding), and
+    covering-set enumeration (RFC 6811 origin validation: all stored
+    prefixes that cover a route). *)
+
+type 'a t
+
+val create : Netaddr.Pfx.afi -> 'a t
+(** A fresh, empty trie for one address family. *)
+
+val afi : 'a t -> Netaddr.Pfx.afi
+
+val cardinal : 'a t -> int
+(** Number of bound prefixes. O(1). *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> Netaddr.Pfx.t -> 'a -> unit
+(** [add t p v] binds [p] to [v], replacing any previous binding.
+    @raise Invalid_argument when [p]'s family differs from [afi t]. *)
+
+val update : 'a t -> Netaddr.Pfx.t -> ('a option -> 'a option) -> unit
+(** [update t p f] rebinds [p] according to [f (find t p)]; [f] returning
+    [None] removes the binding. *)
+
+val remove : 'a t -> Netaddr.Pfx.t -> unit
+(** Remove the binding for [p], pruning now-useless interior nodes. *)
+
+val find : 'a t -> Netaddr.Pfx.t -> 'a option
+(** Exact-match lookup. *)
+
+val mem : 'a t -> Netaddr.Pfx.t -> bool
+
+val longest_match : 'a t -> Netaddr.Pfx.t -> (Netaddr.Pfx.t * 'a) option
+(** [longest_match t p] is the bound prefix that covers [p] with the
+    greatest length, i.e. the forwarding decision for a packet to [p]. *)
+
+val covering : 'a t -> Netaddr.Pfx.t -> (Netaddr.Pfx.t * 'a) list
+(** All bound prefixes that cover [p] (including [p] itself when bound),
+    ordered from shortest to longest. *)
+
+val covered_by : 'a t -> Netaddr.Pfx.t -> (Netaddr.Pfx.t * 'a) list
+(** All bound prefixes that [p] covers (subtree enumeration, including
+    [p] itself when bound), in address-then-length order. *)
+
+val has_descendant : 'a t -> Netaddr.Pfx.t -> bool
+(** [has_descendant t p] is true when some bound prefix is a strict
+    subprefix of [p]. *)
+
+val iter : 'a t -> (Netaddr.Pfx.t -> 'a -> unit) -> unit
+(** In-order traversal (address, then length). *)
+
+val fold : 'a t -> init:'b -> f:('b -> Netaddr.Pfx.t -> 'a -> 'b) -> 'b
+val to_list : 'a t -> (Netaddr.Pfx.t * 'a) list
+val of_list : Netaddr.Pfx.afi -> (Netaddr.Pfx.t * 'a) list -> 'a t

@@ -1,0 +1,1 @@
+lib/rpki/asnum.ml: Format Hashtbl Int Map Printf Set String

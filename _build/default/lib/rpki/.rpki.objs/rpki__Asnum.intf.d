@@ -1,0 +1,1 @@
+lib/rpki/asnum.mli: Format Hashtbl Map Set

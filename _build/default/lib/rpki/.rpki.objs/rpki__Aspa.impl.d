@@ -1,0 +1,1 @@
+lib/rpki/aspa.ml: Array Asn1 Asnum Format Int64 List Option Result

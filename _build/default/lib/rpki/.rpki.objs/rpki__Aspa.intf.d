@@ -1,0 +1,1 @@
+lib/rpki/aspa.mli: Asnum Format

@@ -1,0 +1,1 @@
+lib/rpki/cert.ml: Asn1 Asnum Format Hashcrypto Int64 List Netaddr Result

@@ -1,0 +1,1 @@
+lib/rpki/manifest.ml: Asn1 Format Int64 List Option Result String

@@ -1,0 +1,1 @@
+lib/rpki/manifest.mli: Format

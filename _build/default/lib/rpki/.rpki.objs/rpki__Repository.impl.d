@@ -1,0 +1,1 @@
+lib/rpki/repository.ml: Asnum Aspa Bytes Cert Char Filename Hashcrypto Hashtbl List Manifest Netaddr Printf Result Roa Signed_object String

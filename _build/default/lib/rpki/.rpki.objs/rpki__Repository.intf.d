@@ -1,0 +1,1 @@
+lib/rpki/repository.mli: Asnum Aspa Cert Netaddr Roa

@@ -1,0 +1,1 @@
+lib/rpki/roa.ml: Asnum Format Int Int64 List Netaddr Printf Ptrie Result Vrp

@@ -1,0 +1,1 @@
+lib/rpki/roa.mli: Asnum Format Netaddr Vrp

@@ -1,0 +1,1 @@
+lib/rpki/roa_der.ml: Asn1 Asnum Bytes Char Int64 List Netaddr Result Roa String

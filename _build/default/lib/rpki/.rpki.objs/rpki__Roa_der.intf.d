@@ -1,0 +1,1 @@
+lib/rpki/roa_der.mli: Roa

@@ -1,0 +1,1 @@
+lib/rpki/scan_roas.ml: Asnum Buffer List Netaddr Printf Repository Result Roa String Vrp

@@ -1,0 +1,1 @@
+lib/rpki/scan_roas.mli: Repository Roa Vrp

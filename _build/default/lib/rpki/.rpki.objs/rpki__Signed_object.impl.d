@@ -1,0 +1,1 @@
+lib/rpki/signed_object.ml: Asn1 Cert Hashcrypto Result Roa Roa_der

@@ -1,0 +1,1 @@
+lib/rpki/signed_object.mli: Cert Hashcrypto Roa

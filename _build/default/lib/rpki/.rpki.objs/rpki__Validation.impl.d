@@ -1,0 +1,1 @@
+lib/rpki/validation.ml: Asnum Format List Netaddr Ptrie Vrp

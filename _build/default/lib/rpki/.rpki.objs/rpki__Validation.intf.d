@@ -1,0 +1,1 @@
+lib/rpki/validation.mli: Asnum Format Netaddr Vrp

@@ -1,0 +1,1 @@
+lib/rpki/vrp.ml: Asnum Format Int Netaddr Printf Result Set String

@@ -1,0 +1,1 @@
+lib/rpki/vrp.mli: Asnum Format Netaddr Set

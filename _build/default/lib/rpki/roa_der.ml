@@ -1,0 +1,127 @@
+module Pfx = Netaddr.Pfx
+
+let afi_v4 = "\x00\x01"
+let afi_v6 = "\x00\x02"
+
+(* A prefix as an RFC 3779-style BIT STRING: the network bits, most
+   significant first, bit count equal to the prefix length. *)
+let bit_string_of_prefix p =
+  let len = Pfx.length p in
+  let nbytes = (len + 7) / 8 in
+  let b = Bytes.make nbytes '\x00' in
+  for i = 0 to len - 1 do
+    if Pfx.bit p i then
+      Bytes.set b (i / 8) (Char.chr (Char.code (Bytes.get b (i / 8)) lor (0x80 lsr (i mod 8))))
+  done;
+  let unused = (8 - (len mod 8)) mod 8 in
+  Asn1.Der.Bit_string (unused, Bytes.unsafe_to_string b)
+
+let prefix_of_bit_string afi (unused, payload) =
+  let len = (String.length payload * 8) - unused in
+  let bit i = Char.code payload.[i / 8] land (0x80 lsr (i mod 8)) <> 0 in
+  match afi with
+  | Pfx.Afi_v4 ->
+    if len > Netaddr.Ipv4.bits then Error "IPv4 prefix longer than 32 bits"
+    else begin
+      let a = ref Netaddr.Ipv4.zero in
+      for i = 0 to len - 1 do
+        if bit i then a := Netaddr.Ipv4.set_bit !a i true
+      done;
+      Ok (Pfx.v4 (Netaddr.Ipv4.Prefix.make !a len))
+    end
+  | Pfx.Afi_v6 ->
+    if len > Netaddr.Ipv6.bits then Error "IPv6 prefix longer than 128 bits"
+    else begin
+      let a = ref Netaddr.Ipv6.zero in
+      for i = 0 to len - 1 do
+        if bit i then a := Netaddr.Ipv6.set_bit !a i true
+      done;
+      Ok (Pfx.v6 (Netaddr.Ipv6.Prefix.make !a len))
+    end
+
+let encode_entry (e : Roa.entry) =
+  let addr = bit_string_of_prefix e.Roa.prefix in
+  match e.Roa.max_len with
+  | None -> Asn1.Der.Sequence [ addr ]
+  | Some m -> Asn1.Der.Sequence [ addr; Asn1.Der.Integer (Int64.of_int m) ]
+
+let encode roa =
+  let family afi tag =
+    match List.filter (fun (e : Roa.entry) -> Pfx.afi e.Roa.prefix = afi) (Roa.entries roa) with
+    | [] -> []
+    | entries ->
+      [ Asn1.Der.Sequence
+          [ Asn1.Der.Octet_string tag; Asn1.Der.Sequence (List.map encode_entry entries) ] ]
+  in
+  Asn1.Der.encode
+    (Asn1.Der.Sequence
+       [ Asn1.Der.Integer (Int64.of_int (Asnum.to_int (Roa.asn roa)));
+         Asn1.Der.Sequence (family Pfx.Afi_v4 afi_v4 @ family Pfx.Afi_v6 afi_v6) ])
+
+let ( let* ) = Result.bind
+
+let decode_entry afi v =
+  let* parts = Asn1.Der.as_sequence v in
+  match parts with
+  | [ addr ] ->
+    let* bs = Asn1.Der.as_bit_string addr in
+    let* prefix = prefix_of_bit_string afi bs in
+    Ok { Roa.prefix; max_len = None }
+  | [ addr; ml ] ->
+    let* bs = Asn1.Der.as_bit_string addr in
+    let* prefix = prefix_of_bit_string afi bs in
+    let* m = Asn1.Der.as_int ml in
+    Ok { Roa.prefix; max_len = Some m }
+  | _ -> Error "malformed ROAIPAddress"
+
+let decode_family v =
+  let* parts = Asn1.Der.as_sequence v in
+  match parts with
+  | [ af; addrs ] ->
+    let* tag = Asn1.Der.as_octet_string af in
+    let* afi =
+      if String.equal tag afi_v4 then Ok Pfx.Afi_v4
+      else if String.equal tag afi_v6 then Ok Pfx.Afi_v6
+      else Error "unknown address family"
+    in
+    let* entries = Asn1.Der.as_sequence addrs in
+    if entries = [] then Error "empty ROAIPAddressFamily"
+    else
+      List.fold_left
+        (fun acc e ->
+          let* acc = acc in
+          let* entry = decode_entry afi e in
+          Ok (entry :: acc))
+        (Ok []) entries
+      |> Result.map List.rev
+  | _ -> Error "malformed ROAIPAddressFamily"
+
+let decode s =
+  let* v = Asn1.Der.decode s in
+  let* parts = Asn1.Der.as_sequence v in
+  (* version [0] is DEFAULT 0 and must be absent; reject explicit 0 as
+     non-DER and other versions as unknown. *)
+  let* parts =
+    match parts with
+    | Asn1.Der.Context (0, _) :: _ -> Error "explicit default version is not DER"
+    | _ -> Ok parts
+  in
+  match parts with
+  | [ as_id; blocks ] ->
+    let* asn_int = Asn1.Der.as_int as_id in
+    if asn_int < 0 || asn_int > (1 lsl 32) - 1 then Error "asID out of range"
+    else
+      let asn = Asnum.of_int asn_int in
+      let* families = Asn1.Der.as_sequence blocks in
+      if families = [] then Error "empty ipAddrBlocks"
+      else
+        let* entries =
+          List.fold_left
+            (fun acc f ->
+              let* acc = acc in
+              let* es = decode_family f in
+              Ok (acc @ es))
+            (Ok []) families
+        in
+        Roa.make asn entries
+  | _ -> Error "malformed RouteOriginAttestation"

@@ -1,0 +1,16 @@
+(** DER encoding of the RFC 6482 ROA eContent
+    ([RouteOriginAttestation]).
+
+    This is the byte format the simulated repository publishes and the
+    relying-party side parses back before validation; round-tripping is
+    property-tested. Version is the DEFAULT 0 and therefore absent from
+    the encoding, prefixes are BIT STRINGs whose bit count is the
+    prefix length, and maxLength is encoded only when the ROA entry
+    carries one (RFC 6482 §3.3). *)
+
+val encode : Roa.t -> string
+(** DER bytes of the RouteOriginAttestation. *)
+
+val decode : string -> (Roa.t, string) result
+(** Strict parse; rejects unknown versions, bad address families,
+    malformed prefixes and out-of-range maxLengths. *)

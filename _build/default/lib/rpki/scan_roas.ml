@@ -1,0 +1,42 @@
+let vrps_of_roas roas =
+  List.concat_map Roa.vrps roas |> List.sort_uniq Vrp.compare
+
+let scan repo =
+  let outcome = Repository.validate repo in
+  (vrps_of_roas outcome.Repository.valid_roas, outcome.Repository.rejections)
+
+let to_csv vrps =
+  let buf = Buffer.create (List.length vrps * 32) in
+  List.iter
+    (fun (v : Vrp.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d\n"
+           (Netaddr.Pfx.to_string v.Vrp.prefix)
+           v.Vrp.max_len
+           (Asnum.to_int v.Vrp.asn)))
+    vrps;
+  Buffer.contents buf
+
+let of_csv s =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "") in
+  let parse_line line =
+    match String.split_on_char ',' line with
+    | [ pfx; ml; asn ] ->
+      let* prefix = Netaddr.Pfx.of_string (String.trim pfx) in
+      let* max_len =
+        match int_of_string_opt (String.trim ml) with
+        | Some m -> Ok m
+        | None -> Error (Printf.sprintf "bad maxLength in %S" line)
+      in
+      let* asn = Asnum.of_string (String.trim asn) in
+      Vrp.make prefix ~max_len asn
+    | _ -> Error (Printf.sprintf "malformed VRP line %S" line)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest ->
+      let* v = parse_line l in
+      go (v :: acc) rest
+  in
+  go [] lines

@@ -1,0 +1,20 @@
+(** From validated ROAs to router PDUs.
+
+    The counterpart of the rpki.net [scan_roas] utility the paper's
+    [compress_roas] wraps: flatten a validated ROA set into the
+    distinct (prefix, maxLength, origin AS) tuples the local cache
+    sends to routers. *)
+
+val vrps_of_roas : Roa.t list -> Vrp.t list
+(** Distinct VRPs of the given ROAs, in canonical order. This count is
+    the "# PDUs" quantity in Table 1. *)
+
+val scan : Repository.t -> Vrp.t list * Repository.rejection list
+(** Validate everything a repository publishes, then flatten: the full
+    local-cache pipeline of Figure 1. *)
+
+val to_csv : Vrp.t list -> string
+(** One "prefix,maxLength,asn" line per VRP — the textual interface
+    [scan_roas] exposes to the rest of the toolchain. *)
+
+val of_csv : string -> (Vrp.t list, string) result

@@ -1,0 +1,63 @@
+module Pfx = Netaddr.Pfx
+
+type state = Valid | Invalid | Not_found
+
+let state_to_string = function
+  | Valid -> "Valid"
+  | Invalid -> "Invalid"
+  | Not_found -> "NotFound"
+
+let pp_state ppf s = Format.pp_print_string ppf (state_to_string s)
+
+(* Per family, a trie mapping each VRP prefix to the (max_len, asn)
+   pairs recorded for it. *)
+type db = { v4 : (int * Asnum.t) list Ptrie.t; v6 : (int * Asnum.t) list Ptrie.t; mutable count : int }
+
+let trie_for db p = match Pfx.afi p with Pfx.Afi_v4 -> db.v4 | Pfx.Afi_v6 -> db.v6
+
+let create vrps =
+  let db = { v4 = Ptrie.create Pfx.Afi_v4; v6 = Ptrie.create Pfx.Afi_v6; count = 0 } in
+  let add (v : Vrp.t) =
+    Ptrie.update (trie_for db v.Vrp.prefix) v.Vrp.prefix (function
+      | None ->
+        db.count <- db.count + 1;
+        Some [ (v.Vrp.max_len, v.Vrp.asn) ]
+      | Some l ->
+        if List.mem (v.Vrp.max_len, v.Vrp.asn) l then Some l
+        else begin
+          db.count <- db.count + 1;
+          Some ((v.Vrp.max_len, v.Vrp.asn) :: l)
+        end)
+  in
+  List.iter add vrps;
+  db
+
+let cardinal db = db.count
+
+let covering_vrps db p =
+  Ptrie.covering (trie_for db p) p
+  |> List.concat_map (fun (q, l) ->
+         List.rev_map (fun (max_len, asn) -> { Vrp.prefix = q; max_len; asn }) l)
+
+let validate db p origin =
+  let candidates = Ptrie.covering (trie_for db p) p in
+  if candidates = [] then Not_found
+  else if
+    List.exists
+      (fun (_, l) ->
+        List.exists
+          (fun (max_len, asn) ->
+            (not (Asnum.is_zero asn)) && Asnum.equal asn origin && Pfx.length p <= max_len)
+          l)
+      candidates
+  then Valid
+  else Invalid
+
+let authorized db p origin = validate db p origin = Valid
+
+let vrps db =
+  let collect trie acc =
+    Ptrie.fold trie ~init:acc ~f:(fun acc q l ->
+        List.fold_left (fun acc (max_len, asn) -> { Vrp.prefix = q; max_len; asn } :: acc) acc l)
+  in
+  List.sort_uniq Vrp.compare (collect db.v6 (collect db.v4 []))

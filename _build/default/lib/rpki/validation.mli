@@ -1,0 +1,39 @@
+(** BGP prefix origin validation (RFC 6811).
+
+    Builds an indexed database from a VRP list and classifies
+    (prefix, origin AS) announcements as Valid, Invalid or NotFound.
+    This is the check that stops a subprefix hijack — and the check a
+    forged-origin subprefix hijack slips through when a covering
+    non-minimal VRP exists. *)
+
+type state =
+  | Valid
+  | Invalid
+  | Not_found
+      (** No VRP covers the announced prefix; RFC 6811 calls this
+          "NotFound" and routers treat such routes as they did before
+          the RPKI. *)
+
+val state_to_string : state -> string
+val pp_state : Format.formatter -> state -> unit
+
+type db
+
+val create : Vrp.t list -> db
+(** Index a VRP list (duplicates are fine). *)
+
+val cardinal : db -> int
+(** Number of distinct VRPs in the database. *)
+
+val validate : db -> Netaddr.Pfx.t -> Asnum.t -> state
+(** Classify announcement [(prefix, origin)]. *)
+
+val covering_vrps : db -> Netaddr.Pfx.t -> Vrp.t list
+(** All VRPs whose prefix covers the given one — the candidates RFC 6811
+    consults. *)
+
+val vrps : db -> Vrp.t list
+(** The distinct VRPs, in canonical order. *)
+
+val authorized : db -> Netaddr.Pfx.t -> Asnum.t -> bool
+(** [authorized db p a] = [validate db p a = Valid]. *)

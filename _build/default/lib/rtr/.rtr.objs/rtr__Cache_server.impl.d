@@ -1,0 +1,1 @@
+lib/rtr/cache_server.ml: Int32 List Pdu Rpki

@@ -1,0 +1,1 @@
+lib/rtr/cache_server.mli: Pdu Rpki

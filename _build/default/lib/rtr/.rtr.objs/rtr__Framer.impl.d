@@ -1,0 +1,1 @@
+lib/rtr/framer.ml: Char List Pdu String

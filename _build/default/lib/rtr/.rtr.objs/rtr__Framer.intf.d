@@ -1,0 +1,1 @@
+lib/rtr/framer.mli: Pdu

@@ -1,0 +1,1 @@
+lib/rtr/pdu.ml: Buffer Char Format Int32 Int64 List Netaddr Printf Result Rpki String

@@ -1,0 +1,1 @@
+lib/rtr/pdu.mli: Format Rpki

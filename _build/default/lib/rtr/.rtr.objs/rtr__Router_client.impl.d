@@ -1,0 +1,1 @@
+lib/rtr/router_client.ml: Format Int32 Pdu Rpki

@@ -1,0 +1,1 @@
+lib/rtr/router_client.mli: Pdu Rpki

@@ -1,0 +1,1 @@
+lib/rtr/session.ml: Cache_server List Pdu Router_client String

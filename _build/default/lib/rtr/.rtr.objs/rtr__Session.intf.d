@@ -1,0 +1,1 @@
+lib/rtr/session.mli: Cache_server Router_client Rpki

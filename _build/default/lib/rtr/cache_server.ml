@@ -1,0 +1,89 @@
+module Vset = Rpki.Vrp.Set
+
+(* The delta recorded at serial [s] transformed state [s-1] into state
+   [s]. Keeping both directions lets us roll the current state back to
+   any retained serial. *)
+type delta = { announced : Vset.t; withdrawn : Vset.t }
+
+type t = {
+  session_id : int;
+  history_limit : int;
+  mutable serial : int32;
+  mutable current : Vset.t;
+  mutable history : (int32 * delta) list; (* newest first *)
+}
+
+let default_refresh = 3600l
+let default_retry = 600l
+let default_expire = 7200l
+
+let create ?(session_id = 0x5eed) ?(history_limit = 16) vrps =
+  { session_id; history_limit; serial = 0l; current = Vset.of_list vrps; history = [] }
+
+let session_id t = t.session_id
+let serial t = t.serial
+let vrps t = t.current
+
+let update t vrps =
+  let next = Vset.of_list vrps in
+  if Vset.equal next t.current then None
+  else begin
+    let announced = Vset.diff next t.current in
+    let withdrawn = Vset.diff t.current next in
+    t.serial <- Int32.add t.serial 1l;
+    t.current <- next;
+    t.history <- (t.serial, { announced; withdrawn }) :: t.history;
+    if List.length t.history > t.history_limit then
+      t.history <- List.filteri (fun i _ -> i < t.history_limit) t.history;
+    Some (Pdu.Serial_notify { session_id = t.session_id; serial = t.serial })
+  end
+
+(* The VRP set the cache held at serial [s], or None when [s] has been
+   evicted from history (or never existed). *)
+let state_at t s =
+  if Int32.compare s t.serial > 0 then None
+  else if Int32.equal s t.serial then Some t.current
+  else
+    let rec roll_back state = function
+      | [] ->
+        (* All retained deltas inverted: [state] is the oldest
+           reconstructable serial. *)
+        if Int32.equal s (Int32.sub t.serial (Int32.of_int (List.length t.history))) then
+          Some state
+        else None
+      | (serial_of_delta, d) :: rest ->
+        if Int32.compare serial_of_delta s <= 0 then Some state
+        else roll_back (Vset.union (Vset.diff state d.announced) d.withdrawn) rest
+    in
+    roll_back t.current t.history
+
+let end_of_data t =
+  Pdu.End_of_data
+    { session_id = t.session_id;
+      serial = t.serial;
+      refresh_interval = default_refresh;
+      retry_interval = default_retry;
+      expire_interval = default_expire }
+
+let response_of_diff t ~announce ~withdraw =
+  Pdu.Cache_response { session_id = t.session_id }
+  :: (Vset.fold (fun v acc -> Pdu.Prefix { flags = Pdu.Announce; vrp = v } :: acc) announce []
+      @ Vset.fold (fun v acc -> Pdu.Prefix { flags = Pdu.Withdraw; vrp = v } :: acc) withdraw [])
+  @ [ end_of_data t ]
+
+let handle t query =
+  match query with
+  | Pdu.Reset_query -> response_of_diff t ~announce:t.current ~withdraw:Vset.empty
+  | Pdu.Serial_query { session_id; serial = since } ->
+    if session_id <> t.session_id then [ Pdu.Cache_reset ]
+    else
+      (match state_at t since with
+       | None -> [ Pdu.Cache_reset ]
+       | Some old_state ->
+         response_of_diff t ~announce:(Vset.diff t.current old_state)
+           ~withdraw:(Vset.diff old_state t.current))
+  | other ->
+    [ Pdu.Error_report
+        { code = Pdu.Invalid_request;
+          erroneous_pdu = Pdu.encode other;
+          message = "cache expected Reset Query or Serial Query" } ]

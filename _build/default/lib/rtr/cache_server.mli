@@ -1,0 +1,32 @@
+(** The cache side of the RPKI-to-Router protocol.
+
+    Holds the current validated VRP set, a monotonically increasing
+    serial, and a bounded history of per-serial deltas so routers can
+    sync incrementally with Serial Query; a query too far in the past
+    gets a Cache Reset, forcing the router to start over (RFC 8210 §5
+    and §8). *)
+
+type t
+
+val create : ?session_id:int -> ?history_limit:int -> Rpki.Vrp.t list -> t
+(** A cache whose serial 0 state is the given VRP set.
+    [history_limit] bounds how many past deltas are kept (default 16). *)
+
+val session_id : t -> int
+val serial : t -> int32
+val vrps : t -> Rpki.Vrp.Set.t
+
+val update : t -> Rpki.Vrp.t list -> Pdu.t option
+(** Replace the VRP set. If nothing changed, the serial stays put and
+    no notification is due; otherwise the serial increments and the
+    returned [Serial Notify] should be sent to every connected router. *)
+
+val handle : t -> Pdu.t -> Pdu.t list
+(** Response PDUs for one router query, per RFC 8210:
+    - [Reset Query] → Cache Response, the full set, End of Data;
+    - [Serial Query] at a serial in history → Cache Response, the
+      delta, End of Data;
+    - [Serial Query] at this serial → empty delta response;
+    - [Serial Query] for an unknown session or evicted serial →
+      Cache Reset;
+    - anything else → Error Report (Invalid Request). *)

@@ -1,0 +1,50 @@
+(* Largest PDU we will buffer. Prefix PDUs are tiny; only Error Report
+   carries variable data, and RFC 8210 keeps those to one encapsulated
+   PDU plus diagnostic text. 1 MiB is a generous terminal bound. *)
+let max_pdu_size = 1 lsl 20
+
+type t = {
+  mutable buf : string; (* unconsumed bytes *)
+  mutable error : string option;
+}
+
+let create () = { buf = ""; error = None }
+let pending_bytes t = String.length t.buf
+let failed t = t.error
+
+let fail t e =
+  t.error <- Some e;
+  t.buf <- "";
+  Error e
+
+let u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let feed t chunk =
+  match t.error with
+  | Some e -> Error ("framer already failed: " ^ e)
+  | None ->
+    t.buf <- t.buf ^ chunk;
+    let out = ref [] in
+    let rec consume () =
+      let n = String.length t.buf in
+      if n < 8 then Ok (List.rev !out)
+      else begin
+        let length = u32 t.buf 4 in
+        if length < 8 then fail t "PDU length below header size"
+        else if length > max_pdu_size then fail t "PDU length exceeds the stream bound"
+        else if n < length then Ok (List.rev !out)
+        else
+          match Pdu.decode t.buf 0 with
+          | Ok (pdu, consumed) ->
+            (* decode consumed exactly [length] bytes by construction *)
+            t.buf <- String.sub t.buf consumed (n - consumed);
+            out := pdu :: !out;
+            consume ()
+          | Error e -> fail t e
+      end
+    in
+    consume ()

@@ -1,0 +1,110 @@
+module Vset = Rpki.Vrp.Set
+
+type phase =
+  | Idle (* not yet started *)
+  | Awaiting_response (* query sent, waiting for Cache Response *)
+  | Transfer (* between Cache Response and End of Data *)
+  | Synced
+
+type t = {
+  mutable phase : phase;
+  mutable session : int option;
+  mutable serial : int32 option;
+  mutable installed : Vset.t; (* committed state *)
+  mutable staging : Vset.t; (* state being built during a transfer *)
+  mutable outbox : Pdu.t list;
+}
+
+let create () =
+  { phase = Idle; session = None; serial = None; installed = Vset.empty; staging = Vset.empty;
+    outbox = [] }
+
+let vrps t = t.installed
+let serial t = t.serial
+let synced t = t.phase = Synced
+
+let send t pdu = t.outbox <- t.outbox @ [ pdu ]
+
+let pending t =
+  let out = t.outbox in
+  t.outbox <- [];
+  out
+
+let full_resync t =
+  t.session <- None;
+  t.serial <- None;
+  t.phase <- Awaiting_response;
+  send t Pdu.Reset_query
+
+let start t =
+  match t.phase with
+  | Idle -> full_resync t
+  | Awaiting_response | Transfer | Synced -> ()
+
+let receive t pdu =
+  match pdu with
+  | Pdu.Serial_notify { session_id; serial } ->
+    (* Only react when synced; notifies during a transfer are ignored
+       (we'll learn the new serial at the next sync anyway). *)
+    (match t.phase, t.session, t.serial with
+     | Synced, Some sess, Some cur when sess = session_id ->
+       if Int32.compare serial cur > 0 then begin
+         t.phase <- Awaiting_response;
+         send t (Pdu.Serial_query { session_id = sess; serial = cur })
+       end;
+       Ok ()
+     | Synced, _, _ ->
+       (* Session changed under us: resync from scratch. *)
+       full_resync t;
+       Ok ()
+     | (Idle | Awaiting_response | Transfer), _, _ -> Ok ())
+  | Pdu.Cache_response { session_id } ->
+    (match t.phase with
+     | Awaiting_response ->
+       (match t.session with
+        | Some sess when sess <> session_id ->
+          (* RFC 8210 §5.4: session mismatch on an incremental sync
+             means our data is stale; drop and restart. *)
+          full_resync t;
+          Ok ()
+        | Some _ | None ->
+          t.session <- Some session_id;
+          t.staging <- (if t.serial = None then Vset.empty else t.installed);
+          t.phase <- Transfer;
+          Ok ())
+     | Idle | Transfer | Synced -> Error "Cache Response outside a query")
+  | Pdu.Prefix { flags; vrp } ->
+    (match t.phase with
+     | Transfer ->
+       (match flags with
+        | Pdu.Announce ->
+          if Vset.mem vrp t.staging then Error "duplicate announcement received"
+          else begin
+            t.staging <- Vset.add vrp t.staging;
+            Ok ()
+          end
+        | Pdu.Withdraw ->
+          if not (Vset.mem vrp t.staging) then Error "withdrawal of unknown record"
+          else begin
+            t.staging <- Vset.remove vrp t.staging;
+            Ok ()
+          end)
+     | Idle | Awaiting_response | Synced -> Error "Prefix PDU outside a transfer")
+  | Pdu.End_of_data { session_id; serial; _ } ->
+    (match t.phase with
+     | Transfer when t.session = Some session_id ->
+       t.installed <- t.staging;
+       t.serial <- Some serial;
+       t.phase <- Synced;
+       Ok ()
+     | Transfer -> Error "End of Data with wrong session id"
+     | Idle | Awaiting_response | Synced -> Error "End of Data outside a transfer")
+  | Pdu.Cache_reset ->
+    (match t.phase with
+     | Awaiting_response ->
+       full_resync t;
+       Ok ()
+     | Idle | Transfer | Synced -> Error "Cache Reset outside a query")
+  | Pdu.Error_report { code; message; _ } ->
+    Error (Format.asprintf "cache reported %a: %s" Pdu.pp_error_code code message)
+  | Pdu.Serial_query _ | Pdu.Reset_query -> Error "router received a query PDU"

@@ -1,0 +1,31 @@
+(** The router side of the RPKI-to-Router protocol.
+
+    Maintains the router's copy of the cache's VRP list through the
+    RFC 8210 state machine: initial Reset Query, incremental Serial
+    Query on Serial Notify, full resync on Cache Reset or session-id
+    change. Feed it every PDU that arrives from the cache with
+    {!receive}; send whatever {!pending} returns back to the cache. *)
+
+type t
+
+val create : unit -> t
+
+val vrps : t -> Rpki.Vrp.Set.t
+(** The router's installed VRPs — empty until the first sync ends. *)
+
+val serial : t -> int32 option
+(** Serial of the last completed sync. *)
+
+val synced : t -> bool
+(** True when not mid-transfer. *)
+
+val receive : t -> Pdu.t -> (unit, string) result
+(** Process one PDU from the cache. Errors are protocol violations
+    (e.g. a Prefix PDU outside a Cache Response, a duplicate announce,
+    or a withdrawal of an unknown record — RFC 8210 §5.11). *)
+
+val pending : t -> Pdu.t list
+(** Queries the router wants to send; calling it drains the queue. *)
+
+val start : t -> unit
+(** Begin the initial synchronization (enqueues a Reset Query). *)

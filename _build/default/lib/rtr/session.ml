@@ -1,0 +1,61 @@
+type t = {
+  cache : Cache_server.t;
+  routers : Router_client.t list;
+  mutable bytes : int;
+}
+
+let cache t = t.cache
+let routers t = t.routers
+let bytes_on_wire t = t.bytes
+
+(* Move a PDU across the link through its wire encoding. *)
+let transcode t pdu =
+  let wire = Pdu.encode pdu in
+  t.bytes <- t.bytes + String.length wire;
+  match Pdu.decode wire 0 with
+  | Ok (pdu', off) when off = String.length wire -> pdu'
+  | Ok _ -> failwith "Rtr.Session: trailing bytes after PDU"
+  | Error e -> failwith ("Rtr.Session: PDU failed to round-trip: " ^ e)
+
+let pump t =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun router ->
+        let queries = Router_client.pending router in
+        List.iter
+          (fun q ->
+            progress := true;
+            let responses = Cache_server.handle t.cache (transcode t q) in
+            List.iter
+              (fun r ->
+                match Router_client.receive router (transcode t r) with
+                | Ok () -> ()
+                | Error e -> failwith ("Rtr.Session: router rejected PDU: " ^ e))
+              responses)
+          queries)
+      t.routers
+  done
+
+let broadcast t pdu =
+  List.iter
+    (fun router ->
+      match Router_client.receive router (transcode t pdu) with
+      | Ok () -> ()
+      | Error e -> failwith ("Rtr.Session: router rejected notify: " ^ e))
+    t.routers
+
+let connect cache n =
+  let routers = List.init n (fun _ -> Router_client.create ()) in
+  let t = { cache; routers; bytes = 0 } in
+  List.iter Router_client.start routers;
+  pump t;
+  t
+
+let publish t vrps =
+  match Cache_server.update t.cache vrps with
+  | None -> ()
+  | Some notify ->
+    broadcast t notify;
+    pump t

@@ -1,0 +1,1 @@
+lib/topology/as_graph.ml: Bgp List Rpki

@@ -1,0 +1,1 @@
+lib/topology/attack.ml: As_graph Bgp Format Int List Netaddr Printf Propagate Rpki

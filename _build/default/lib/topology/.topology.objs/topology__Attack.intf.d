@@ -1,0 +1,1 @@
+lib/topology/attack.mli: As_graph Bgp Format Netaddr Rpki

@@ -1,0 +1,1 @@
+lib/topology/gen.ml: As_graph List Rng Rpki

@@ -1,0 +1,1 @@
+lib/topology/metrics.ml: As_graph Bgp List Rpki

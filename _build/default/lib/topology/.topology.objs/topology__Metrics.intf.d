@@ -1,0 +1,1 @@
+lib/topology/metrics.mli: As_graph Propagate Rpki

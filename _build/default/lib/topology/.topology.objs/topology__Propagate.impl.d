@@ -1,0 +1,1 @@
+lib/topology/propagate.ml: As_graph Bgp List Netaddr Printf Rpki

@@ -1,0 +1,1 @@
+lib/topology/propagate.mli: As_graph Bgp Rpki

@@ -1,0 +1,39 @@
+(** AS-level Internet topology with business relationships.
+
+    Nodes are AS numbers; every edge is either customer→provider or
+    peer↔peer. {!Gen} builds synthetic graphs with the hierarchical
+    shape the Gao–Rexford model assumes (a clique-ish core, mid-tier
+    ISPs, stub edge networks). *)
+
+type t
+
+val create : unit -> t
+val add_as : t -> Rpki.Asnum.t -> unit
+val mem : t -> Rpki.Asnum.t -> bool
+
+val link : t -> customer:Rpki.Asnum.t -> provider:Rpki.Asnum.t -> unit
+(** Add a customer→provider edge (both endpoints are created if new).
+    @raise Invalid_argument on self-links or if the pair is already
+    linked. *)
+
+val peer : t -> Rpki.Asnum.t -> Rpki.Asnum.t -> unit
+(** Add a peer↔peer edge. Same constraints as {!link}. *)
+
+val relation : t -> of_:Rpki.Asnum.t -> with_:Rpki.Asnum.t -> Bgp.Policy.relation option
+(** [relation t ~of_:a ~with_:b]: what [b] is to [a] (e.g. [Customer]
+    when [b] pays [a]). *)
+
+val neighbors : t -> Rpki.Asnum.t -> (Rpki.Asnum.t * Bgp.Policy.relation) list
+(** All neighbors of an AS, each tagged with what that neighbor is to
+    it. *)
+
+val customers : t -> Rpki.Asnum.t -> Rpki.Asnum.t list
+val peers : t -> Rpki.Asnum.t -> Rpki.Asnum.t list
+val providers : t -> Rpki.Asnum.t -> Rpki.Asnum.t list
+
+val as_list : t -> Rpki.Asnum.t list
+val as_count : t -> int
+val edge_count : t -> int
+
+val is_stub : t -> Rpki.Asnum.t -> bool
+(** No customers. *)

@@ -1,0 +1,86 @@
+module Asnum = Rpki.Asnum
+
+type params = {
+  n_as : int;
+  n_tier1 : int;
+  mid_fraction : float;
+  peer_density : float;
+}
+
+let default_params = { n_as = 1000; n_tier1 = 8; mid_fraction = 0.15; peer_density = 0.02 }
+
+(* Providers are always earlier-numbered ASes, so the customer→provider
+   relation is acyclic by construction. Preferential attachment: an AS
+   is picked as provider with weight 1 + its current customer count. *)
+let generate ?(params = default_params) ~seed () =
+  if params.n_as < 10 then invalid_arg "Gen.generate: need at least 10 ASes";
+  if params.n_tier1 < 2 || params.n_tier1 > params.n_as / 2 then
+    invalid_arg "Gen.generate: bad tier-1 count";
+  let rng = Rng.create seed in
+  let g = As_graph.create () in
+  let asn i = Asnum.of_int i in
+  (* Tier-1 clique. *)
+  for i = 1 to params.n_tier1 do
+    As_graph.add_as g (asn i);
+    for j = 1 to i - 1 do
+      As_graph.peer g (asn i) (asn j)
+    done
+  done;
+  let n_mid =
+    max 1 (int_of_float (float_of_int (params.n_as - params.n_tier1) *. params.mid_fraction))
+  in
+  let mid_lo = params.n_tier1 + 1 and mid_hi = params.n_tier1 + n_mid in
+  let pick_provider ~among_max exclude =
+    (* Weighted choice over AS 1..among_max by 1 + customer count. *)
+    let weights =
+      List.init among_max (fun i ->
+          let a = asn (i + 1) in
+          if List.exists (Asnum.equal a) exclude then (0, a)
+          else (1 + List.length (As_graph.customers g a), a))
+    in
+    Rng.weighted rng weights
+  in
+  (* Mid-tier ISPs: 2-3 providers among earlier ASes. *)
+  for i = mid_lo to mid_hi do
+    As_graph.add_as g (asn i);
+    let n_prov = 2 + Rng.int rng 2 in
+    let rec attach k acc =
+      if k = 0 then ()
+      else begin
+        let p = pick_provider ~among_max:(i - 1) acc in
+        As_graph.link g ~customer:(asn i) ~provider:p;
+        attach (k - 1) (p :: acc)
+      end
+    in
+    attach (min n_prov (i - 1)) []
+  done;
+  (* Lateral peering among mid-tier ASes. *)
+  for i = mid_lo to mid_hi do
+    for j = i + 1 to mid_hi do
+      if
+        Rng.bernoulli rng params.peer_density
+        && As_graph.relation g ~of_:(asn i) ~with_:(asn j) = None
+      then As_graph.peer g (asn i) (asn j)
+    done
+  done;
+  (* Stubs: 1-2 providers, drawn mostly from the mid-tier. *)
+  for i = mid_hi + 1 to params.n_as do
+    As_graph.add_as g (asn i);
+    let n_prov = 1 + (if Rng.bernoulli rng 0.35 then 1 else 0) in
+    let rec attach k acc =
+      if k = 0 then ()
+      else begin
+        let p =
+          if Rng.bernoulli rng 0.9 then pick_provider ~among_max:mid_hi acc
+          else pick_provider ~among_max:params.n_tier1 acc
+        in
+        if List.exists (Asnum.equal p) acc then attach k acc
+        else begin
+          As_graph.link g ~customer:(asn i) ~provider:p;
+          attach (k - 1) (p :: acc)
+        end
+      end
+    in
+    attach n_prov []
+  done;
+  g

@@ -1,0 +1,23 @@
+(** Synthetic AS-topology generator.
+
+    Stands in for a CAIDA-style inferred topology (see DESIGN.md): a
+    small fully-peered tier-1 core, mid-tier ISPs multihoming into
+    providers chosen by preferential attachment, stubs at the edge,
+    and some lateral peering in the middle. The resulting graphs have
+    the properties the propagation results depend on: a connected
+    customer→provider hierarchy with no customer-provider cycles and a
+    heavy-tailed degree distribution. *)
+
+type params = {
+  n_as : int;  (** Total number of ASes (>= 10). *)
+  n_tier1 : int;  (** Size of the fully-meshed core (default 8). *)
+  mid_fraction : float;  (** Fraction of non-core ASes that are mid-tier ISPs. *)
+  peer_density : float;  (** Mid-tier lateral peering probability factor. *)
+}
+
+val default_params : params
+(** 1000 ASes, 8 tier-1s, 15% mid-tier, moderate peering. *)
+
+val generate : ?params:params -> seed:int -> unit -> As_graph.t
+(** Deterministic for a given seed. First AS number is 1; ASes are
+    numbered consecutively. *)

@@ -1,0 +1,37 @@
+module Asnum = Rpki.Asnum
+
+let degree g asn = List.length (As_graph.neighbors g asn)
+
+let degree_stats g =
+  let ases = As_graph.as_list g in
+  let degrees = List.map (degree g) ases in
+  let n = max 1 (List.length degrees) in
+  let sum = List.fold_left ( + ) 0 degrees in
+  ( List.fold_left min max_int degrees,
+    float_of_int sum /. float_of_int n,
+    List.fold_left max 0 degrees )
+
+let customer_cone_size g asn =
+  let seen = Asnum.Tbl.create 64 in
+  let rec visit a =
+    if not (Asnum.Tbl.mem seen a) then begin
+      Asnum.Tbl.replace seen a ();
+      List.iter visit (As_graph.customers g a)
+    end
+  in
+  visit asn;
+  Asnum.Tbl.length seen
+
+let path_lengths outcome =
+  Asnum.Map.fold (fun _ (_, r) acc -> Bgp.Route.path_length r :: acc) outcome []
+
+let mean_path_length outcome =
+  match path_lengths outcome with
+  | [] -> 0.0
+  | ls -> float_of_int (List.fold_left ( + ) 0 ls) /. float_of_int (List.length ls)
+
+let max_path_length outcome = List.fold_left max 0 (path_lengths outcome)
+
+let reachability g outcome =
+  if As_graph.as_count g = 0 then 0.0
+  else float_of_int (Asnum.Map.cardinal outcome) /. float_of_int (As_graph.as_count g)

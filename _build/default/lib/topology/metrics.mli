@@ -1,0 +1,25 @@
+(** Sanity metrics over AS graphs and propagation outcomes.
+
+    Used by tests to check that generated topologies look like the
+    Internet (hierarchy depth, heavy-tailed degrees, small average
+    path length) — the properties the attack results implicitly rely
+    on. *)
+
+val degree : As_graph.t -> Rpki.Asnum.t -> int
+(** Total neighbor count. *)
+
+val degree_stats : As_graph.t -> int * float * int
+(** (min, mean, max) over all ASes. *)
+
+val customer_cone_size : As_graph.t -> Rpki.Asnum.t -> int
+(** Number of ASes reachable by walking provider→customer edges,
+    including the AS itself — the AS's "customer cone" (CAIDA's
+    ranking metric). *)
+
+val mean_path_length : Propagate.outcome -> float
+(** Average selected AS-path length across ASes with a route. *)
+
+val max_path_length : Propagate.outcome -> int
+
+val reachability : As_graph.t -> Propagate.outcome -> float
+(** Fraction of ASes holding a route. *)

@@ -1,0 +1,77 @@
+module Asnum = Rpki.Asnum
+module Policy = Bgp.Policy
+module Route = Bgp.Route
+
+type outcome = (Policy.learned_from * Route.t) Asnum.Map.t
+
+(* Fixpoint relaxation: recompute every AS's best candidate until
+   stable. Gao–Rexford preferences over an acyclic customer-provider
+   hierarchy converge (Gao & Rexford 2001); the iteration cap is a
+   safety net, not a tuning knob. *)
+let run g ~originations ?(import_filter = fun _ _ _ -> true) () =
+  (match originations with
+   | [] -> ()
+   | (_, r0) :: rest ->
+     let p = r0.Route.prefix in
+     if not (List.for_all (fun (_, r) -> Netaddr.Pfx.equal r.Route.prefix p) rest) then
+       invalid_arg "Propagate.run: originations for different prefixes");
+  List.iter
+    (fun (a, _) ->
+      if not (As_graph.mem g a) then
+        invalid_arg (Printf.sprintf "Propagate.run: %s not in the graph" (Asnum.to_string a)))
+    originations;
+  let selected : (Policy.learned_from * Route.t) Asnum.Tbl.t = Asnum.Tbl.create 1024 in
+  let origin_of = Asnum.Tbl.create 4 in
+  List.iter
+    (fun (a, r) ->
+      Asnum.Tbl.replace origin_of a r;
+      Asnum.Tbl.replace selected a (Policy.Self, r))
+    originations;
+  let ases = As_graph.as_list g in
+  (* Synchronous rounds: each AS's next selection is computed from the
+     previous round's table, so nothing stale survives a round. *)
+  let best_candidate_for u =
+    let candidates = ref [] in
+    (match Asnum.Tbl.find_opt origin_of u with
+     | Some r -> candidates := [ (Policy.Self, r) ]
+     | None -> ());
+    List.iter
+      (fun (v, rel_of_v_to_u) ->
+        match Asnum.Tbl.find_opt selected v with
+        | None -> ()
+        | Some (lf_v, r_v) ->
+          (* Does v export its selection to u? u's relation as seen
+             from v is the flip of v's relation as seen from u. *)
+          if
+            Policy.exports_to lf_v (Policy.flip rel_of_v_to_u)
+            && (not (Route.loops_through r_v u))
+            && import_filter u rel_of_v_to_u r_v
+          then candidates := (Policy.From rel_of_v_to_u, Route.prepend u r_v) :: !candidates)
+      (As_graph.neighbors g u);
+    match !candidates with
+    | [] -> None
+    | c :: cs ->
+      Some (List.fold_left (fun acc c -> if Policy.better c acc < 0 then c else acc) c cs)
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  let max_rounds = (2 * List.length ases) + 4 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > max_rounds then failwith "Propagate.run: did not converge";
+    let next = Asnum.Tbl.create (Asnum.Tbl.length selected) in
+    List.iter
+      (fun u ->
+        match best_candidate_for u with
+        | None -> if Asnum.Tbl.mem selected u then changed := true
+        | Some best ->
+          Asnum.Tbl.replace next u best;
+          (match Asnum.Tbl.find_opt selected u with
+           | Some (lf, r) when lf = fst best && Route.equal r (snd best) -> ()
+           | Some _ | None -> changed := true))
+      ases;
+    Asnum.Tbl.reset selected;
+    Asnum.Tbl.iter (Asnum.Tbl.replace selected) next
+  done;
+  Asnum.Tbl.fold Asnum.Map.add selected Asnum.Map.empty

@@ -1,0 +1,30 @@
+(** BGP route propagation over an AS graph (one prefix at a time).
+
+    Computes, for every AS, the route it selects under Gao–Rexford
+    policies ({!Bgp.Policy}) given a set of originations — the standard
+    routing-tree simulation methodology (Gill et al.; used by the
+    Lychev–Goldberg–Schapira analysis the paper cites for its
+    traffic-split claims).
+
+    A "selected route at AS u" is the announcement [u] would send: its
+    AS path starts with [u] and ends at the (claimed) origin. Forged
+    announcements are expressed directly as originations with a forged
+    path, e.g. the attacker [m] seeding ["p: AS m, AS victim"]. *)
+
+type outcome = (Bgp.Policy.learned_from * Bgp.Route.t) Rpki.Asnum.Map.t
+(** What each AS selected; ASes with no route to the prefix are
+    absent. *)
+
+val run :
+  As_graph.t ->
+  originations:(Rpki.Asnum.t * Bgp.Route.t) list ->
+  ?import_filter:(Rpki.Asnum.t -> Bgp.Policy.relation -> Bgp.Route.t -> bool) ->
+  unit ->
+  outcome
+(** All originations must be for the same prefix. [import_filter as_n
+    rel received] is consulted when [as_n] considers an announcement
+    from a neighbor whose relation to it is [rel] (ROV drop-invalid
+    and ASPA path filtering live here); origins do not filter their
+    own announcements. BGP loop prevention is always applied.
+    @raise Invalid_argument on mixed prefixes or an origination by an
+    AS outside the graph. *)

@@ -1,0 +1,1 @@
+test/test_advisor.ml: Alcotest Dataset Format Gen Int64 List Mlcore Netaddr Option QCheck2 QCheck_alcotest Rpki String Test Testutil

@@ -1,0 +1,1 @@
+test/test_aspa.ml: Alcotest List Rpki Testutil Topology

@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Bgp Bytes Char Gen Int List Netaddr QCheck2 QCheck_alcotest Rpki String Test Testutil

@@ -1,0 +1,1 @@
+test/test_bgp_session.ml: Alcotest Bgp Bytes Char List Netaddr QCheck2 QCheck_alcotest String Testutil

@@ -1,0 +1,1 @@
+test/test_bgp_session.mli:

@@ -1,0 +1,1 @@
+test/test_bgpsec.ml: Alcotest Bgp List Option Printf QCheck2 QCheck_alcotest Rpki String Testutil

@@ -1,0 +1,1 @@
+test/test_compress.ml: Alcotest Fun List Map Mlcore Netaddr Printf QCheck2 QCheck_alcotest Rpki Testutil

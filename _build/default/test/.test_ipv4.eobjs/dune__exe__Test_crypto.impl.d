@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Hashcrypto List Printf QCheck2 QCheck_alcotest String Testutil

@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Dataset Gen Lazy List Netaddr Printf QCheck2 QCheck_alcotest Result Rng Rpki Test Testutil

@@ -1,0 +1,1 @@
+test/test_der.ml: Alcotest Asn1 Bytes Char Format Hashcrypto Int64 List QCheck2 QCheck_alcotest String Testutil

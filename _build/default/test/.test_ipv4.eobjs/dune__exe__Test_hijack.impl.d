@@ -1,0 +1,1 @@
+test/test_hijack.ml: Alcotest Bgp Experiments Lazy List Rng Rpki String Testutil Topology

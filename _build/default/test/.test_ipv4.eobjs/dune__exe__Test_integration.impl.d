@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bgp Dataset Lazy List Mlcore Netaddr Rpki Rtr Testutil

@@ -1,0 +1,1 @@
+test/test_ipv4.ml: Alcotest List Netaddr Option QCheck2 QCheck_alcotest Testutil

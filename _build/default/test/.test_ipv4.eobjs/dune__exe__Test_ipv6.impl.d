@@ -1,0 +1,1 @@
+test/test_ipv6.ml: Alcotest List Netaddr Option QCheck2 QCheck_alcotest Testutil

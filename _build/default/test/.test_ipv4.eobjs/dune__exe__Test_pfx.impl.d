@@ -1,0 +1,1 @@
+test/test_pfx.ml: Alcotest Gen List Netaddr Option QCheck2 QCheck_alcotest Test Testutil

@@ -1,0 +1,1 @@
+test/test_ptrie.ml: Alcotest Gen List Netaddr Option Ptrie QCheck2 QCheck_alcotest Test Testutil

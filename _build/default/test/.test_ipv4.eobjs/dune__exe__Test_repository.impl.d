@@ -1,0 +1,1 @@
+test/test_repository.ml: Alcotest Hashcrypto List Rpki String Testutil

@@ -1,0 +1,1 @@
+test/test_router.ml: Alcotest Bgp List Netaddr Option Printf QCheck2 QCheck_alcotest Rpki Testutil Topology

@@ -1,0 +1,1 @@
+test/test_rpki.ml: Alcotest Asn1 Format List Netaddr QCheck2 QCheck_alcotest Rpki Testutil

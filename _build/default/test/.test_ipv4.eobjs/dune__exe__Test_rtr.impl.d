@@ -1,0 +1,1 @@
+test/test_rtr.ml: Alcotest Bytes Char Fmt Gen Hashcrypto Int32 List Printf QCheck2 QCheck_alcotest Rng Rpki Rtr String Test Testutil

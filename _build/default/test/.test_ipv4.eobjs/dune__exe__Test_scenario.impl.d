@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Dataset Lazy List Mlcore Rpki String Testutil

@@ -1,0 +1,1 @@
+test/test_signed_object.ml: Alcotest Asn1 Bytes Char Hashcrypto Lazy List Netaddr QCheck2 QCheck_alcotest Rpki String Testutil

@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Gen List QCheck2 QCheck_alcotest Rpki Test Testutil

@@ -1,0 +1,218 @@
+module Sha256 = Hashcrypto.Sha256
+module Hmac = Hashcrypto.Hmac
+module Lamport = Hashcrypto.Lamport
+module Merkle = Hashcrypto.Merkle
+
+let hex = Sha256.to_hex
+let unhex s = Testutil.check_ok (Sha256.of_hex s)
+
+(* FIPS 180-4 / NIST CAVS vectors. *)
+let sha256_vectors =
+  [ ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+       ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+    (String.make 1000000 'a', "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+    ("message digest", "f7846f55cf23e14eebeab5b4e1550cad5b509e3348fbc4efa3a1413d393cb650");
+    ("secure hash algorithm", "f30ceb2bb2829e79e4ca9753d35a8ecc00262d164cc077080295381cbd643f0d") ]
+
+let test_sha256_vectors () =
+  List.iter
+    (fun (msg, digest) ->
+      Alcotest.(check string)
+        (if String.length msg > 40 then "long input" else msg)
+        digest (hex (Sha256.digest msg)))
+    sha256_vectors
+
+let test_sha256_streaming () =
+  (* Feeding in odd-sized chunks must equal one-shot hashing,
+     exercising the block-buffer boundary logic. *)
+  let msg = String.init 3000 (fun i -> Char.chr (i mod 251)) in
+  List.iter
+    (fun chunk_size ->
+      let ctx = Sha256.init () in
+      let rec go off =
+        if off < String.length msg then begin
+          let n = min chunk_size (String.length msg - off) in
+          Sha256.feed ctx (String.sub msg off n);
+          go (off + n)
+        end
+      in
+      go 0;
+      Alcotest.(check string)
+        (Printf.sprintf "chunk size %d" chunk_size)
+        (hex (Sha256.digest msg))
+        (hex (Sha256.get ctx)))
+    [ 1; 3; 63; 64; 65; 127; 128; 1000 ]
+
+let test_sha256_block_boundaries () =
+  (* Lengths around the 55/56/64-byte padding boundaries. *)
+  List.iter
+    (fun n ->
+      let msg = String.make n 'a' in
+      let ctx = Sha256.init () in
+      Sha256.feed ctx msg;
+      Alcotest.(check string)
+        (Printf.sprintf "length %d" n)
+        (hex (Sha256.digest msg))
+        (hex (Sha256.get ctx)))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 128 ]
+
+let test_hex_roundtrip () =
+  let d = Sha256.digest "x" in
+  Alcotest.(check string) "roundtrip" (hex d) (hex (unhex (hex d)));
+  (match Sha256.of_hex "0g" with Ok _ -> Alcotest.fail "bad digit" | Error _ -> ());
+  match Sha256.of_hex "abc" with Ok _ -> Alcotest.fail "odd length" | Error _ -> ()
+
+(* RFC 4231 HMAC-SHA256 test cases. *)
+let hmac_vectors =
+  [ ( String.make 20 '\x0b',
+      "Hi There",
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7" );
+    ( "Jefe",
+      "what do ya want for nothing?",
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843" );
+    ( String.make 20 '\xaa',
+      String.make 50 '\xdd',
+      "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe" );
+    ( String.init 25 (fun i -> Char.chr (i + 1)),
+      String.make 50 '\xcd',
+      "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b" );
+    ( String.make 131 '\xaa',
+      "Test Using Larger Than Block-Size Key - Hash Key First",
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54" );
+    ( String.make 131 '\xaa',
+      "This is a test using a larger than block-size key and a larger than \
+       block-size data. The key needs to be hashed before being used by the \
+       HMAC algorithm.",
+      "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2" ) ]
+
+let test_hmac_vectors () =
+  List.iteri
+    (fun i (key, msg, tag) ->
+      Alcotest.(check string) (Printf.sprintf "RFC 4231 case %d" (i + 1)) tag
+        (hex (Hmac.sha256 ~key msg)))
+    hmac_vectors
+
+let test_hmac_verify () =
+  let key = "k" and msg = "m" in
+  let tag = Hmac.sha256 ~key msg in
+  Alcotest.(check bool) "accepts" true (Hmac.verify ~key ~msg ~tag);
+  Alcotest.(check bool) "rejects wrong tag" false (Hmac.verify ~key ~msg ~tag:(Sha256.digest "no"));
+  Alcotest.(check bool) "rejects short tag" false (Hmac.verify ~key ~msg ~tag:"short");
+  Alcotest.(check bool) "rejects wrong msg" false (Hmac.verify ~key ~msg:"m2" ~tag)
+
+let test_lamport_sign_verify () =
+  let sk, pk = Lamport.generate ~seed:"test-1" in
+  let sg = Lamport.sign sk "attack at dawn" in
+  Alcotest.(check bool) "verifies" true (Lamport.verify pk "attack at dawn" sg);
+  Alcotest.(check bool) "wrong message" false (Lamport.verify pk "attack at dusk" sg);
+  let _, pk2 = Lamport.generate ~seed:"test-2" in
+  Alcotest.(check bool) "wrong key" false (Lamport.verify pk2 "attack at dawn" sg)
+
+let test_lamport_determinism () =
+  let _, pk1 = Lamport.generate ~seed:"same" in
+  let _, pk2 = Lamport.generate ~seed:"same" in
+  let _, pk3 = Lamport.generate ~seed:"different" in
+  Alcotest.(check bool) "same seed, same key" true (String.equal pk1 pk2);
+  Alcotest.(check bool) "different seed, different key" false (String.equal pk1 pk3)
+
+let test_lamport_encode_decode () =
+  let sk, pk = Lamport.generate ~seed:"enc" in
+  let sg = Lamport.sign sk "msg" in
+  let sg' = Testutil.check_ok (Lamport.decode (Lamport.encode sg)) in
+  Alcotest.(check bool) "decoded verifies" true (Lamport.verify pk "msg" sg');
+  match Lamport.decode "too short" with
+  | Ok _ -> Alcotest.fail "accepted short encoding"
+  | Error _ -> ()
+
+let test_lamport_tamper () =
+  let sk, pk = Lamport.generate ~seed:"tamper" in
+  let sg = Lamport.sign sk "msg" in
+  let enc = Bytes.of_string (Lamport.encode sg) in
+  Bytes.set enc 100 (Char.chr (Char.code (Bytes.get enc 100) lxor 1));
+  let sg' = Testutil.check_ok (Lamport.decode (Bytes.to_string enc)) in
+  Alcotest.(check bool) "tampered signature rejected" false (Lamport.verify pk "msg" sg')
+
+let test_merkle_multi_sign () =
+  let sk, pk = Merkle.generate ~seed:"mss" ~height:3 in
+  Alcotest.(check int) "capacity" 8 (Merkle.capacity sk);
+  let msgs = List.init 8 (fun i -> Printf.sprintf "message %d" i) in
+  let sigs = List.map (Merkle.sign sk) msgs in
+  Alcotest.(check int) "exhausted" 0 (Merkle.capacity sk);
+  List.iter2
+    (fun m s -> Alcotest.(check bool) m true (Merkle.verify pk m s))
+    msgs sigs;
+  (* Signatures don't cross-verify. *)
+  Alcotest.(check bool) "cross" false
+    (Merkle.verify pk (List.nth msgs 0) (List.nth sigs 1));
+  match Merkle.sign sk "one more" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "signed beyond capacity"
+
+let test_merkle_encode_decode () =
+  let sk, pk = Merkle.generate ~seed:"mss-enc" ~height:2 in
+  let sg = Merkle.sign sk "hello" in
+  let sg' = Testutil.check_ok (Merkle.decode (Merkle.encode sg)) in
+  Alcotest.(check bool) "decoded verifies" true (Merkle.verify pk "hello" sg');
+  Alcotest.(check bool) "size positive" true (Merkle.signature_size sg > 0);
+  match Merkle.decode (String.make 50 'x') with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ()
+
+let test_merkle_height_zero () =
+  let sk, pk = Merkle.generate ~seed:"h0" ~height:0 in
+  Alcotest.(check int) "one-shot" 1 (Merkle.capacity sk);
+  let sg = Merkle.sign sk "only" in
+  Alcotest.(check bool) "verifies" true (Merkle.verify pk "only" sg);
+  match Merkle.generate ~seed:"bad" ~height:25 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted excessive height"
+
+let prop_merkle_verify =
+  QCheck2.Test.make ~name:"merkle sign/verify for random messages" ~count:30
+    QCheck2.Gen.(pair (string_size (int_bound 100)) small_int)
+    (fun (msg, n) ->
+      let sk, pk = Merkle.generate ~seed:(string_of_int n) ~height:1 in
+      let sg = Merkle.sign sk msg in
+      Merkle.verify pk msg sg && not (Merkle.verify pk (msg ^ "x") sg))
+
+let prop_hmac_key_sensitivity =
+  (* HMAC zero-pads keys to the block size, so "k" and "k\x00" are the
+     same key; treat zero-padded extensions as equal. *)
+  let zero_ext a b =
+    String.length a <= String.length b
+    && String.sub b 0 (String.length a) = a
+    && String.for_all (fun c -> c = '\x00')
+         (String.sub b (String.length a) (String.length b - String.length a))
+  in
+  QCheck2.Test.make ~name:"distinct keys give distinct tags" ~count:200
+    QCheck2.Gen.(triple (string_size (int_bound 60)) (string_size (int_bound 60)) string)
+    (fun (k1, k2, msg) ->
+      zero_ext k1 k2 || zero_ext k2 k1
+      || not (String.equal (Hmac.sha256 ~key:k1 msg) (Hmac.sha256 ~key:k2 msg)))
+
+let () =
+  Alcotest.run "hashcrypto"
+    [ ( "sha256",
+        [ Alcotest.test_case "NIST vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "streaming chunks" `Quick test_sha256_streaming;
+          Alcotest.test_case "padding boundaries" `Quick test_sha256_block_boundaries;
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip ] );
+      ( "hmac",
+        [ Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_vectors;
+          Alcotest.test_case "verify" `Quick test_hmac_verify ] );
+      ( "lamport",
+        [ Alcotest.test_case "sign/verify" `Quick test_lamport_sign_verify;
+          Alcotest.test_case "determinism" `Quick test_lamport_determinism;
+          Alcotest.test_case "encode/decode" `Quick test_lamport_encode_decode;
+          Alcotest.test_case "tamper" `Quick test_lamport_tamper ] );
+      ( "merkle",
+        [ Alcotest.test_case "multi-sign" `Quick test_merkle_multi_sign;
+          Alcotest.test_case "encode/decode" `Quick test_merkle_encode_decode;
+          Alcotest.test_case "height zero and bounds" `Quick test_merkle_height_zero ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_merkle_verify; prop_hmac_key_sensitivity ] ) ]

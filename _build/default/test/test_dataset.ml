@@ -1,0 +1,293 @@
+module Bgp_table = Dataset.Bgp_table
+module Snapshot = Dataset.Snapshot
+module Timeline = Dataset.Timeline
+module Pfx = Netaddr.Pfx
+
+let p = Testutil.p4
+let a = Testutil.a
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let r1 = Rng.create 42 and r2 = Rng.create 42 in
+  let s1 = List.init 20 (fun _ -> Rng.int64 r1) in
+  let s2 = List.init 20 (fun _ -> Rng.int64 r2) in
+  Alcotest.(check bool) "same streams" true (s1 = s2);
+  let r3 = Rng.create 43 in
+  Alcotest.(check bool) "different seed" true (Rng.int64 r3 <> List.hd s1)
+
+let test_rng_split_stability () =
+  let parent1 = Rng.create 1 in
+  let child_a = Rng.split parent1 "a" in
+  let first_a = Rng.int64 child_a in
+  (* Drawing from the parent must not shift the child stream. *)
+  let parent2 = Rng.create 1 in
+  ignore (Rng.int64 parent2);
+  ignore (Rng.int64 parent2);
+  let child_a2 = Rng.split parent2 "a" in
+  Alcotest.(check int64) "stable under parent use" first_a (Rng.int64 child_a2);
+  let child_b = Rng.split parent1 "b" in
+  Alcotest.(check bool) "labels differ" true (Rng.int64 child_b <> first_a)
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "int out of bounds: %d" v;
+    let f = Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of bounds: %f" f
+  done;
+  match Rng.int r 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero bound accepted"
+
+let test_rng_distributions () =
+  let r = Rng.create 3 in
+  (* bernoulli 0.3 should land near 0.3 over many draws. *)
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  Alcotest.(check bool) "bernoulli mean" true (!hits > 2_700 && !hits < 3_300);
+  (* weighted picks respect weights. *)
+  let w = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.weighted r [ (3, true); (1, false) ] then incr w
+  done;
+  Alcotest.(check bool) "weighted 3:1" true (!w > 7_200 && !w < 7_800);
+  (* geometric mean for p=0.5 is 1. *)
+  let sum = ref 0 in
+  for _ = 1 to 10_000 do
+    sum := !sum + Rng.geometric r ~p:0.5
+  done;
+  Alcotest.(check bool) "geometric mean" true (!sum > 9_000 && !sum < 11_000)
+
+(* --- Bgp_table --- *)
+
+let test_table_basics () =
+  let t = Bgp_table.create () in
+  Bgp_table.add t (p "10.0.0.0/16") (a 1);
+  Bgp_table.add t (p "10.0.0.0/16") (a 1);
+  Bgp_table.add t (p "10.0.0.0/16") (a 2);
+  Bgp_table.add t (p "10.0.0.0/24") (a 1);
+  Alcotest.(check int) "pairs dedup" 3 (Bgp_table.cardinal t);
+  Alcotest.(check int) "distinct prefixes" 2 (Bgp_table.distinct_prefix_count t);
+  Alcotest.(check int) "ases" 2 (Bgp_table.as_count t);
+  Alcotest.(check bool) "mem" true (Bgp_table.mem t (p "10.0.0.0/16") (a 2));
+  Alcotest.(check bool) "not mem" false (Bgp_table.mem t (p "10.0.0.0/24") (a 2));
+  Alcotest.(check (list int)) "origins" [ 1; 2 ]
+    (List.map Rpki.Asnum.to_int (Bgp_table.origins t (p "10.0.0.0/16")))
+
+let test_table_ancestors_roots () =
+  let t = Bgp_table.create () in
+  Bgp_table.add t (p "10.0.0.0/16") (a 1);
+  Bgp_table.add t (p "10.0.0.0/24") (a 1);
+  Bgp_table.add t (p "10.0.1.0/24") (a 2);
+  Bgp_table.add t (p "11.0.0.0/16") (a 3);
+  Alcotest.(check bool) "same-origin nested" true
+    (Bgp_table.has_same_origin_ancestor t (p "10.0.0.0/24") (a 1));
+  Alcotest.(check bool) "other origin is a root" false
+    (Bgp_table.has_same_origin_ancestor t (p "10.0.1.0/24") (a 2));
+  Alcotest.(check bool) "top is root" false
+    (Bgp_table.has_same_origin_ancestor t (p "10.0.0.0/16") (a 1));
+  (* Roots: 10/16(AS1), 10.0.1/24(AS2), 11/16(AS3) — the nested
+     10.0.0.0/24(AS1) is absorbed. *)
+  Alcotest.(check int) "root pairs" 3 (Bgp_table.root_pair_count t)
+
+let test_table_counts_by_length () =
+  let t = Bgp_table.create () in
+  Bgp_table.add t (p "10.0.0.0/16") (a 1);
+  Bgp_table.add t (p "10.0.0.0/17") (a 1);
+  Bgp_table.add t (p "10.0.128.0/17") (a 1);
+  Bgp_table.add t (p "10.0.0.0/18") (a 1);
+  Bgp_table.add t (p "10.0.64.0/18") (a 9);
+  Alcotest.(check (array int)) "per length" [| 1; 2; 1 |]
+    (Bgp_table.count_by_length_under t (p "10.0.0.0/16") (a 1) ~max_len:18);
+  Alcotest.(check int) "announced_under filters origin" 4
+    (List.length (Bgp_table.announced_under t (p "10.0.0.0/16") (a 1)))
+
+(* --- Snapshot calibration: the generated data must sit in the bands
+   the paper reports (generous tolerances; exact values live in
+   EXPERIMENTS.md). --- *)
+
+let snap = lazy (Snapshot.generate ~params:(Snapshot.scaled 0.03) ~seed:1234 ())
+
+let test_snapshot_size () =
+  let s = Lazy.force snap in
+  let target = (Snapshot.scaled 0.03).Snapshot.pairs_target in
+  let n = Bgp_table.cardinal s.Snapshot.table in
+  Alcotest.(check bool) "pair count near target" true
+    (n >= target && n < target + target / 10)
+
+let test_snapshot_maxlen_band () =
+  let s = Lazy.force snap in
+  let vrps = Snapshot.vrps s in
+  let n = List.length vrps in
+  let ml = List.length (List.filter Rpki.Vrp.uses_max_len vrps) in
+  let frac = float_of_int ml /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "maxLength usage %.1f%% in [7%%, 17%%] (paper: ~12%%)" (100. *. frac))
+    true
+    (frac > 0.07 && frac < 0.17)
+
+let test_snapshot_nested_band () =
+  let s = Lazy.force snap in
+  let table = s.Snapshot.table in
+  let bound = Bgp_table.root_pair_count table in
+  let frac = 1.0 -. (float_of_int bound /. float_of_int (Bgp_table.cardinal table)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "nested pairs %.1f%% in [4%%, 10%%] (paper: ~6.1%%)" (100. *. frac))
+    true
+    (frac > 0.04 && frac < 0.10)
+
+let test_snapshot_valid_pairs_band () =
+  let s = Lazy.force snap in
+  let vrps = Snapshot.vrps s in
+  let db = Rpki.Validation.create vrps in
+  let valid =
+    Bgp_table.fold s.Snapshot.table ~init:0 ~f:(fun acc q origin ->
+        if Rpki.Validation.authorized db q origin then acc + 1 else acc)
+  in
+  let coverage = float_of_int valid /. float_of_int (Bgp_table.cardinal s.Snapshot.table) in
+  Alcotest.(check bool)
+    (Printf.sprintf "RPKI coverage %.1f%% in [4%%, 10%%] (paper: ~6.8%%)" (100. *. coverage))
+    true
+    (coverage > 0.04 && coverage < 0.10);
+  let growth = float_of_int valid /. float_of_int (List.length vrps) in
+  Alcotest.(check bool)
+    (Printf.sprintf "minimalization growth %.2fx in [1.15, 1.50] (paper: 1.32x)" growth)
+    true
+    (growth > 1.15 && growth < 1.50)
+
+let test_snapshot_determinism () =
+  let s1 = Snapshot.generate ~params:(Snapshot.scaled 0.01) ~seed:5 () in
+  let s2 = Snapshot.generate ~params:(Snapshot.scaled 0.01) ~seed:5 () in
+  Alcotest.(check int) "same pairs" (Bgp_table.cardinal s1.Snapshot.table)
+    (Bgp_table.cardinal s2.Snapshot.table);
+  Alcotest.(check (list Testutil.vrp)) "same vrps" (Snapshot.vrps s1) (Snapshot.vrps s2)
+
+let test_snapshot_roas_well_formed () =
+  let s = Lazy.force snap in
+  (* Every ROA constructs, and its VRPs respect maxLength bounds by
+     construction; also every ROA has at least one prefix. *)
+  List.iter
+    (fun roa -> Alcotest.(check bool) "non-empty" true (Rpki.Roa.entries roa <> []))
+    s.Snapshot.roas;
+  Alcotest.(check bool) "corpus not empty" true (s.Snapshot.roas <> [])
+
+let test_timeline () =
+  let weeks = Timeline.generate ~params:(Snapshot.scaled 0.01) ~seed:9 () in
+  Alcotest.(check int) "eight weeks" 8 (List.length weeks);
+  Alcotest.(check (list string)) "labels" Timeline.labels
+    (List.map (fun (w : Timeline.week) -> w.Timeline.label) weeks);
+  (* Table sizes grow monotonically along the timeline. *)
+  let sizes =
+    List.map (fun (w : Timeline.week) -> Bgp_table.cardinal w.Timeline.snapshot.Snapshot.table) weeks
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "monotone growth" true (monotone sizes)
+
+(* --- IO --- *)
+
+let test_io_table_roundtrip () =
+  let t = Bgp_table.create () in
+  Bgp_table.add t (p "10.0.0.0/16") (a 1);
+  Bgp_table.add t (p "2001:db8::/32") (a 2);
+  Bgp_table.add t (p "10.0.0.0/24") (a 1);
+  let csv = Dataset.Io.table_to_csv t in
+  let t' = Testutil.check_ok (Dataset.Io.table_of_csv csv) in
+  Alcotest.(check int) "same pairs" (Bgp_table.cardinal t) (Bgp_table.cardinal t');
+  Bgp_table.iter t (fun q origin ->
+      Alcotest.(check bool) "pair survives" true (Bgp_table.mem t' q origin));
+  (* Comments and blanks are fine; garbage is not. *)
+  let with_comments = "# header\n\n" ^ csv in
+  Alcotest.(check int) "comments skipped" (Bgp_table.cardinal t)
+    (Bgp_table.cardinal (Testutil.check_ok (Dataset.Io.table_of_csv with_comments)));
+  (match Dataset.Io.table_of_csv "not-a-prefix,1" with
+   | Ok _ -> Alcotest.fail "garbage accepted"
+   | Error _ -> ());
+  match Dataset.Io.table_of_csv "10.0.0.0/8" with
+  | Ok _ -> Alcotest.fail "missing asn accepted"
+  | Error _ -> ()
+
+let test_io_roas_roundtrip () =
+  let roas =
+    [ Testutil.check_ok
+        (Rpki.Roa.of_simple (a 111) [ ("168.122.0.0/16", Some 24); ("168.122.225.0/24", None) ]);
+      Testutil.check_ok (Rpki.Roa.of_simple (a 31283) [ ("2001:db8::/32", Some 48) ]) ]
+  in
+  let lines = Dataset.Io.roas_to_lines roas in
+  let roas' = Testutil.check_ok (Dataset.Io.roas_of_lines lines) in
+  Alcotest.(check (list Testutil.roa)) "roundtrip" roas roas';
+  match Dataset.Io.roas_of_lines "111" with
+  | Ok _ -> Alcotest.fail "missing separator accepted"
+  | Error _ -> ()
+
+let prop_io_snapshot_roundtrip =
+  QCheck2.Test.make ~name:"generated snapshot survives CSV roundtrip" ~count:5
+    QCheck2.Gen.(int_range 0 100)
+    (fun seed ->
+      let s = Snapshot.generate ~params:(Snapshot.scaled 0.002) ~seed () in
+      let t' = Result.get_ok (Dataset.Io.table_of_csv (Dataset.Io.table_to_csv s.Snapshot.table)) in
+      let roas' = Result.get_ok (Dataset.Io.roas_of_lines (Dataset.Io.roas_to_lines s.Snapshot.roas)) in
+      Bgp_table.cardinal t' = Bgp_table.cardinal s.Snapshot.table
+      && List.equal Rpki.Vrp.equal
+           (Rpki.Scan_roas.vrps_of_roas roas')
+           (Rpki.Scan_roas.vrps_of_roas s.Snapshot.roas))
+
+let prop_table_root_count_naive =
+  let open QCheck2 in
+  let gen =
+    Gen.list_size (Gen.int_range 1 50)
+      (Gen.pair Testutil.gen_clustered_v4_prefix Testutil.gen_small_asn)
+  in
+  Test.make ~name:"root_pair_count equals naive computation" ~count:200 gen (fun pairs ->
+      let t = Bgp_table.create () in
+      List.iter (fun (q, origin) -> Bgp_table.add t q origin) pairs;
+      let uniq =
+        List.sort_uniq compare (List.map (fun (q, o) -> (Pfx.to_string q, Rpki.Asnum.to_int o)) pairs)
+      in
+      let naive =
+        List.length
+          (List.filter
+             (fun (qs, o) ->
+               let q = Pfx.of_string_exn qs in
+               not
+                 (List.exists
+                    (fun (rs, o') ->
+                      let r = Pfx.of_string_exn rs in
+                      o = o' && Pfx.strict_subset q r)
+                    uniq))
+             uniq)
+      in
+      Bgp_table.root_pair_count t = naive)
+
+let () =
+  Alcotest.run "dataset"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split stability" `Quick test_rng_split_stability;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "distributions" `Quick test_rng_distributions ] );
+      ( "bgp_table",
+        [ Alcotest.test_case "basics" `Quick test_table_basics;
+          Alcotest.test_case "ancestors and roots" `Quick test_table_ancestors_roots;
+          Alcotest.test_case "counts by length" `Quick test_table_counts_by_length ] );
+      ( "snapshot calibration",
+        [ Alcotest.test_case "size" `Quick test_snapshot_size;
+          Alcotest.test_case "maxLength band" `Quick test_snapshot_maxlen_band;
+          Alcotest.test_case "nested band" `Quick test_snapshot_nested_band;
+          Alcotest.test_case "coverage bands" `Quick test_snapshot_valid_pairs_band;
+          Alcotest.test_case "determinism" `Quick test_snapshot_determinism;
+          Alcotest.test_case "ROAs well-formed" `Quick test_snapshot_roas_well_formed ] );
+      ( "timeline",
+        [ Alcotest.test_case "weekly series" `Quick test_timeline ] );
+      ( "io",
+        [ Alcotest.test_case "table roundtrip" `Quick test_io_table_roundtrip;
+          Alcotest.test_case "roas roundtrip" `Quick test_io_roas_roundtrip ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_table_root_count_naive; prop_io_snapshot_roundtrip ] ) ]

@@ -1,0 +1,160 @@
+module Pfx = Netaddr.Pfx
+
+let p = Testutil.p4
+
+let make l =
+  let t = Ptrie.create Pfx.Afi_v4 in
+  List.iter (fun (s, v) -> Ptrie.add t (p s) v) l;
+  t
+
+let test_add_find () =
+  let t = make [ ("10.0.0.0/8", 1); ("10.0.0.0/16", 2); ("10.1.0.0/16", 3) ] in
+  Alcotest.(check int) "cardinal" 3 (Ptrie.cardinal t);
+  Alcotest.(check (option int)) "find /8" (Some 1) (Ptrie.find t (p "10.0.0.0/8"));
+  Alcotest.(check (option int)) "find /16" (Some 2) (Ptrie.find t (p "10.0.0.0/16"));
+  Alcotest.(check (option int)) "absent" None (Ptrie.find t (p "10.2.0.0/16"));
+  Alcotest.(check (option int)) "absent deeper" None (Ptrie.find t (p "10.0.0.0/24"));
+  Ptrie.add t (p "10.0.0.0/8") 9;
+  Alcotest.(check (option int)) "replace" (Some 9) (Ptrie.find t (p "10.0.0.0/8"));
+  Alcotest.(check int) "cardinal after replace" 3 (Ptrie.cardinal t)
+
+let test_family_mismatch () =
+  let t = make [] in
+  match Ptrie.add t (Pfx.of_string_exn "2001:db8::/32") 0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "accepted v6 prefix in v4 trie"
+
+let test_remove_prunes () =
+  let t = make [ ("10.0.0.0/24", 1) ] in
+  Ptrie.remove t (p "10.0.0.0/24");
+  Alcotest.(check int) "empty" 0 (Ptrie.cardinal t);
+  Alcotest.(check bool) "is_empty" true (Ptrie.is_empty t);
+  (* Removing a missing prefix is a no-op. *)
+  Ptrie.remove t (p "10.0.0.0/24");
+  Alcotest.(check int) "still empty" 0 (Ptrie.cardinal t)
+
+let test_remove_keeps_descendants () =
+  let t = make [ ("10.0.0.0/8", 1); ("10.0.0.0/24", 2) ] in
+  Ptrie.remove t (p "10.0.0.0/8");
+  Alcotest.(check (option int)) "descendant survives" (Some 2) (Ptrie.find t (p "10.0.0.0/24"));
+  Alcotest.(check int) "cardinal" 1 (Ptrie.cardinal t)
+
+let test_longest_match () =
+  let t = make [ ("0.0.0.0/0", 0); ("10.0.0.0/8", 1); ("10.0.0.0/16", 2) ] in
+  let lm q = Option.map (fun (q, v) -> (Pfx.to_string q, v)) (Ptrie.longest_match t (p q)) in
+  Alcotest.(check (option (pair string int))) "exact deepest" (Some ("10.0.0.0/16", 2)) (lm "10.0.0.0/16");
+  Alcotest.(check (option (pair string int))) "host under /16" (Some ("10.0.0.0/16", 2)) (lm "10.0.255.1/32");
+  Alcotest.(check (option (pair string int))) "host under /8 only" (Some ("10.0.0.0/8", 1)) (lm "10.1.0.1/32");
+  Alcotest.(check (option (pair string int))) "default" (Some ("0.0.0.0/0", 0)) (lm "192.168.0.1/32")
+
+let test_covering_covered () =
+  let t = make [ ("10.0.0.0/8", 1); ("10.0.0.0/16", 2); ("10.0.0.0/24", 3); ("10.1.0.0/16", 4) ] in
+  let cov = Ptrie.covering t (p "10.0.0.0/24") in
+  Alcotest.(check (list string))
+    "covering shortest-first"
+    [ "10.0.0.0/8"; "10.0.0.0/16"; "10.0.0.0/24" ]
+    (List.map (fun (q, _) -> Pfx.to_string q) cov);
+  let cvd = Ptrie.covered_by t (p "10.0.0.0/16") in
+  Alcotest.(check (list string))
+    "covered_by" [ "10.0.0.0/16"; "10.0.0.0/24" ]
+    (List.map (fun (q, _) -> Pfx.to_string q) cvd);
+  Alcotest.(check bool) "has_descendant /8" true (Ptrie.has_descendant t (p "10.0.0.0/8"));
+  Alcotest.(check bool) "no descendant of /24" false (Ptrie.has_descendant t (p "10.0.0.0/24"));
+  Alcotest.(check bool) "descendants under unstored node" true
+    (Ptrie.has_descendant t (p "10.0.0.0/12"))
+
+let test_update () =
+  let t = make [] in
+  Ptrie.update t (p "10.0.0.0/8") (function None -> Some 1 | Some _ -> Alcotest.fail "fresh");
+  Ptrie.update t (p "10.0.0.0/8") (function Some 1 -> Some 2 | _ -> Alcotest.fail "update");
+  Alcotest.(check (option int)) "updated" (Some 2) (Ptrie.find t (p "10.0.0.0/8"));
+  Ptrie.update t (p "10.0.0.0/8") (fun _ -> None);
+  Alcotest.(check int) "removed via update" 0 (Ptrie.cardinal t)
+
+let test_traversal_order () =
+  let t = make [ ("10.0.0.0/16", 2); ("10.0.0.0/8", 1); ("9.0.0.0/8", 0); ("10.128.0.0/9", 3) ] in
+  Alcotest.(check (list string))
+    "in-order"
+    [ "9.0.0.0/8"; "10.0.0.0/8"; "10.0.0.0/16"; "10.128.0.0/9" ]
+    (List.map (fun (q, _) -> Pfx.to_string q) (Ptrie.to_list t))
+
+(* Model-based property: the trie agrees with a Map-based reference
+   under a random sequence of adds and removes. *)
+let prop_model =
+  let open QCheck2 in
+  let gen_ops =
+    Gen.list_size (Gen.int_range 1 200)
+      (Gen.pair Gen.bool Testutil.gen_clustered_v4_prefix)
+  in
+  Test.make ~name:"trie agrees with Map model" ~count:200 gen_ops (fun ops ->
+      let t = Ptrie.create Pfx.Afi_v4 in
+      let model = ref Pfx.Map.empty in
+      List.iteri
+        (fun i (add, q) ->
+          if add then begin
+            Ptrie.add t q i;
+            model := Pfx.Map.add q i !model
+          end
+          else begin
+            Ptrie.remove t q;
+            model := Pfx.Map.remove q !model
+          end)
+        ops;
+      Ptrie.cardinal t = Pfx.Map.cardinal !model
+      && Pfx.Map.for_all (fun q v -> Ptrie.find t q = Some v) !model)
+
+let prop_longest_match_naive =
+  let open QCheck2 in
+  let gen =
+    Gen.pair
+      (Gen.list_size (Gen.int_range 1 60) Testutil.gen_clustered_v4_prefix)
+      Testutil.gen_clustered_v4_prefix
+  in
+  Test.make ~name:"longest_match equals naive scan" ~count:300 gen (fun (stored, q) ->
+      let t = Ptrie.create Pfx.Afi_v4 in
+      List.iteri (fun i s -> Ptrie.add t s i) stored;
+      let naive =
+        Ptrie.to_list t
+        |> List.filter (fun (s, _) -> Pfx.subset q s)
+        |> List.fold_left
+             (fun acc (s, v) ->
+               match acc with
+               | Some (best, _) when Pfx.length best >= Pfx.length s -> acc
+               | _ -> Some (s, v))
+             None
+      in
+      match Ptrie.longest_match t q, naive with
+      | None, None -> true
+      | Some (a, _), Some (b, _) -> Pfx.equal a b
+      | Some _, None | None, Some _ -> false)
+
+let prop_covering_naive =
+  let open QCheck2 in
+  let gen =
+    Gen.pair
+      (Gen.list_size (Gen.int_range 1 60) Testutil.gen_clustered_v4_prefix)
+      Testutil.gen_clustered_v4_prefix
+  in
+  Test.make ~name:"covering equals naive filter" ~count:300 gen (fun (stored, q) ->
+      let t = Ptrie.create Pfx.Afi_v4 in
+      List.iter (fun s -> Ptrie.add t s 0) stored;
+      let got = List.map fst (Ptrie.covering t q) in
+      let expected =
+        List.map fst (Ptrie.to_list t) |> List.filter (fun s -> Pfx.subset q s)
+      in
+      List.equal Pfx.equal got expected)
+
+let () =
+  Alcotest.run "ptrie"
+    [ ( "operations",
+        [ Alcotest.test_case "add/find" `Quick test_add_find;
+          Alcotest.test_case "family mismatch" `Quick test_family_mismatch;
+          Alcotest.test_case "remove prunes" `Quick test_remove_prunes;
+          Alcotest.test_case "remove keeps descendants" `Quick test_remove_keeps_descendants;
+          Alcotest.test_case "longest match" `Quick test_longest_match;
+          Alcotest.test_case "covering/covered_by" `Quick test_covering_covered;
+          Alcotest.test_case "update" `Quick test_update;
+          Alcotest.test_case "traversal order" `Quick test_traversal_order ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_model; prop_longest_match_naive; prop_covering_naive ] ) ]

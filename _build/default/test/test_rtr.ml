@@ -1,0 +1,395 @@
+(* RFC 8210: wire format round-trips and the cache/router state
+   machines, including incremental sync and reset recovery. *)
+
+module Pdu = Rtr.Pdu
+module Cache = Rtr.Cache_server
+module Router = Rtr.Router_client
+module Vrp = Rpki.Vrp
+module Vset = Rpki.Vrp.Set
+
+let p = Testutil.p4
+let a = Testutil.a
+let pdu = Alcotest.testable Pdu.pp Pdu.equal
+
+let sample_pdus =
+  [ Pdu.Serial_notify { session_id = 0x1234; serial = 42l };
+    Pdu.Serial_query { session_id = 0xffff; serial = 0l };
+    Pdu.Reset_query;
+    Pdu.Cache_response { session_id = 7 };
+    Pdu.Prefix
+      { flags = Pdu.Announce; vrp = Vrp.make_exn (p "168.122.0.0/16") ~max_len:24 (a 111) };
+    Pdu.Prefix { flags = Pdu.Withdraw; vrp = Vrp.exact (p "10.0.0.0/8") (a 4200000000) };
+    Pdu.Prefix
+      { flags = Pdu.Announce; vrp = Vrp.make_exn (p "2001:db8::/32") ~max_len:48 (a 31283) };
+    Pdu.End_of_data
+      { session_id = 9;
+        serial = Int32.max_int;
+        refresh_interval = 3600l;
+        retry_interval = 600l;
+        expire_interval = 7200l };
+    Pdu.Cache_reset;
+    Pdu.Error_report { code = Pdu.Corrupt_data; erroneous_pdu = "\x01\x02"; message = "bad" };
+    Pdu.Error_report { code = Pdu.No_data_available; erroneous_pdu = ""; message = "" } ]
+
+let test_roundtrip_all () =
+  List.iter
+    (fun x ->
+      let wire = Pdu.encode x in
+      match Pdu.decode wire 0 with
+      | Ok (y, off) ->
+        Alcotest.check pdu "roundtrip" x y;
+        Alcotest.(check int) "consumed all" (String.length wire) off
+      | Error e -> Alcotest.failf "decode failed: %s (%a)" e Pdu.pp x)
+    sample_pdus
+
+let test_stream_decode () =
+  let wire = String.concat "" (List.map Pdu.encode sample_pdus) in
+  let decoded = Testutil.check_ok (Pdu.decode_all wire) in
+  Alcotest.(check (list pdu)) "stream" sample_pdus decoded
+
+let test_wire_layout () =
+  (* Pin the exact bytes of an IPv4 Prefix PDU so interop with real
+     implementations is checkable. *)
+  let vrp = Vrp.make_exn (p "168.122.0.0/16") ~max_len:24 (a 111) in
+  let wire = Pdu.encode (Pdu.Prefix { flags = Pdu.Announce; vrp }) in
+  Alcotest.(check string)
+    "ipv4 prefix pdu" "0104000000000014011018 00a87a0000 0000006f"
+    (String.concat " "
+       [ Hashcrypto.Sha256.to_hex (String.sub wire 0 11);
+         Hashcrypto.Sha256.to_hex (String.sub wire 11 5);
+         Hashcrypto.Sha256.to_hex (String.sub wire 16 4) ])
+
+let test_decode_rejects () =
+  List.iter
+    (fun (name, hexstr) ->
+      let bytes = Testutil.check_ok (Hashcrypto.Sha256.of_hex hexstr) in
+      match Pdu.decode bytes 0 with
+      | Ok _ -> Alcotest.failf "%s accepted" name
+      | Error _ -> ())
+    [ ("short header", "010200");
+      ("wrong version", "0002000000000008");
+      ("length below 8", "0102000000000004");
+      ("body short", "010000000000000c0000");
+      ("unknown type", "010c000000000008");
+      ("reset query bad length", "0102000000000009ff");
+      ("prefix host bits", "0104000000000014 01101800a87a0100 0000006f" |> String.split_on_char ' ' |> String.concat "");
+      ("nonzero reserved byte", "0104000000000014 0110180aa87a0000 0000006f" |> String.split_on_char ' ' |> String.concat "");
+      ("prefix maxlen < len", "0104000000000014 011810000a0a0a00 0000006f" |> String.split_on_char ' ' |> String.concat "");
+      ("prefix len > 32", "0104000000000014 01212200 0a0a0a00 0000006f" |> String.split_on_char ' ' |> String.concat "");
+      ("flag bits", "0104000000000014 0310180a000000 0000006f" |> String.split_on_char ' ' |> String.concat "");
+      ("error report overrun", "010a0000000000100000ffff") ]
+
+let test_decode_total_fuzz () =
+  (* Mutate valid PDUs byte-by-byte; the decoder must never raise. *)
+  List.iter
+    (fun x ->
+      let wire = Bytes.of_string (Pdu.encode x) in
+      for i = 0 to Bytes.length wire - 1 do
+        for v = 0 to 255 do
+          let b = Bytes.copy wire in
+          Bytes.set b i (Char.chr v);
+          match Pdu.decode (Bytes.to_string b) 0 with
+          | Ok _ | Error _ -> ()
+        done
+      done)
+    sample_pdus
+
+
+let prop_cache_answers_every_retained_serial =
+  (* After N random updates with a bounded history, a Serial Query for
+     any serial is answered either with a correct delta (reconstructing
+     the router's state exactly) or a Cache Reset — never junk. *)
+  let open QCheck2 in
+  Test.make ~name:"cache answers any serial with a correct delta or reset" ~count:50
+    Gen.(pair (int_range 1 12) (int_range 0 1000))
+    (fun (updates, salt) ->
+      let rng = Rng.create salt in
+      let cache = Cache.create ~history_limit:4 [] in
+      (* Track every historical state for ground truth. *)
+      let states = ref [ (0l, Vset.empty) ] in
+      for _ = 1 to updates do
+        let vrps =
+          List.init (Rng.int rng 6) (fun _ ->
+              Vrp.exact (p (Printf.sprintf "10.%d.%d.0/24" (Rng.int rng 4) (Rng.int rng 4))) (a 1))
+        in
+        (match Cache.update cache vrps with
+         | Some _ | None -> ());
+        states := (Cache.serial cache, Cache.vrps cache) :: !states
+      done;
+      List.for_all
+        (fun (serial, state) ->
+          match Cache.handle cache (Pdu.Serial_query { session_id = Cache.session_id cache; serial }) with
+          | [ Pdu.Cache_reset ] -> true
+          | Pdu.Cache_response _ :: rest ->
+            (* Apply the delta to the historical state; must land on
+               the current state. *)
+            let final =
+              List.fold_left
+                (fun acc x ->
+                  match x with
+                  | Pdu.Prefix { flags = Pdu.Announce; vrp } -> Vset.add vrp acc
+                  | Pdu.Prefix { flags = Pdu.Withdraw; vrp } -> Vset.remove vrp acc
+                  | _ -> acc)
+                state rest
+            in
+            Vset.equal final (Cache.vrps cache)
+          | _ -> false)
+        !states)
+
+(* --- stream framing --- *)
+
+let test_framer_byte_by_byte () =
+  let wire = String.concat "" (List.map Pdu.encode sample_pdus) in
+  let f = Rtr.Framer.create () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      match Rtr.Framer.feed f (String.make 1 c) with
+      | Ok pdus -> got := !got @ pdus
+      | Error e -> Alcotest.failf "framer failed: %s" e)
+    wire;
+  Alcotest.(check (list pdu)) "all PDUs, in order" sample_pdus !got;
+  Alcotest.(check int) "nothing pending" 0 (Rtr.Framer.pending_bytes f)
+
+let test_framer_random_chunks () =
+  let wire = String.concat "" (List.map Pdu.encode sample_pdus) in
+  let rng = Rng.create 99 in
+  for _trial = 1 to 50 do
+    let f = Rtr.Framer.create () in
+    let got = ref [] in
+    let off = ref 0 in
+    while !off < String.length wire do
+      let len = min (1 + Rng.int rng 40) (String.length wire - !off) in
+      (match Rtr.Framer.feed f (String.sub wire !off len) with
+       | Ok pdus -> got := !got @ pdus
+       | Error e -> Alcotest.failf "framer failed: %s" e);
+      off := !off + len
+    done;
+    Alcotest.(check (list pdu)) "all PDUs" sample_pdus !got
+  done
+
+let test_framer_empty_chunks () =
+  let f = Rtr.Framer.create () in
+  Alcotest.(check (list pdu)) "empty feed" [] (Testutil.check_ok (Rtr.Framer.feed f ""));
+  Alcotest.(check (list pdu)) "partial header" []
+    (Testutil.check_ok (Rtr.Framer.feed f "\x01\x02"));
+  Alcotest.(check int) "two pending" 2 (Rtr.Framer.pending_bytes f)
+
+let test_framer_terminal_error () =
+  let f = Rtr.Framer.create () in
+  (* Version 9 is a framing error... and terminal. *)
+  (match Rtr.Framer.feed f "\x09\x02\x00\x00\x00\x00\x00\x08" with
+   | Ok _ -> Alcotest.fail "bad version accepted"
+   | Error _ -> ());
+  Alcotest.(check bool) "failed recorded" true (Rtr.Framer.failed f <> None);
+  match Rtr.Framer.feed f (Pdu.encode Pdu.Reset_query) with
+  | Ok _ -> Alcotest.fail "accepted input after terminal error"
+  | Error _ -> ()
+
+let test_framer_oversized_pdu () =
+  let f = Rtr.Framer.create () in
+  (* A length field of 2 MiB must be rejected before buffering it. *)
+  let header = "\x01\x0a\x00\x00\x00\x20\x00\x00" in
+  match Rtr.Framer.feed f header with
+  | Ok _ -> Alcotest.fail "oversized PDU accepted"
+  | Error _ -> ()
+
+(* --- cache/router state machines --- *)
+
+let vrps1 =
+  [ Vrp.exact (p "168.122.0.0/16") (a 111);
+    Vrp.exact (p "168.122.225.0/24") (a 111);
+    Vrp.make_exn (p "10.0.0.0/8") ~max_len:16 (a 7) ]
+
+let vrps2 =
+  [ Vrp.exact (p "168.122.0.0/16") (a 111);
+    Vrp.exact (p "192.0.2.0/24") (a 9) ]
+
+let vset = Alcotest.testable (Fmt.Dump.iter Vset.iter (Fmt.any "vrps") Vrp.pp) Vset.equal
+
+let test_initial_sync () =
+  let cache = Cache.create vrps1 in
+  let session = Rtr.Session.connect cache 3 in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "synced" true (Router.synced r);
+      Alcotest.check vset "router state" (Vset.of_list vrps1) (Router.vrps r);
+      Alcotest.(check (option int32)) "serial 0" (Some 0l) (Router.serial r))
+    (Rtr.Session.routers session);
+  Alcotest.(check bool) "bytes moved" true (Rtr.Session.bytes_on_wire session > 0)
+
+let test_incremental_update () =
+  let cache = Cache.create vrps1 in
+  let session = Rtr.Session.connect cache 2 in
+  Rtr.Session.publish session vrps2;
+  List.iter
+    (fun r ->
+      Alcotest.check vset "updated" (Vset.of_list vrps2) (Router.vrps r);
+      Alcotest.(check (option int32)) "serial 1" (Some 1l) (Router.serial r))
+    (Rtr.Session.routers session)
+
+let test_delta_is_minimal () =
+  (* The serial-query response carries exactly the set difference, not
+     the whole table. vrps1 -> vrps2 withdraws two records and
+     announces one. *)
+  let cache = Cache.create vrps1 in
+  ignore (Cache.update cache vrps2);
+  let response =
+    Cache.handle cache (Pdu.Serial_query { session_id = Cache.session_id cache; serial = 0l })
+  in
+  let announces, withdraws =
+    List.fold_left
+      (fun (an, wd) x ->
+        match x with
+        | Pdu.Prefix { flags = Pdu.Announce; vrp } -> (vrp :: an, wd)
+        | Pdu.Prefix { flags = Pdu.Withdraw; vrp } -> (an, vrp :: wd)
+        | _ -> (an, wd))
+      ([], []) response
+  in
+  Alcotest.check vset "announced diff" (Vset.diff (Vset.of_list vrps2) (Vset.of_list vrps1))
+    (Vset.of_list announces);
+  Alcotest.check vset "withdrawn diff" (Vset.diff (Vset.of_list vrps1) (Vset.of_list vrps2))
+    (Vset.of_list withdraws)
+
+let test_no_change_no_serial () =
+  let cache = Cache.create vrps1 in
+  let session = Rtr.Session.connect cache 1 in
+  Rtr.Session.publish session vrps1;
+  Alcotest.(check int32) "serial unchanged" 0l (Cache.serial cache)
+
+let test_many_updates_converge () =
+  let cache = Cache.create [] in
+  let session = Rtr.Session.connect cache 1 in
+  let router = List.hd (Rtr.Session.routers session) in
+  for i = 1 to 30 do
+    let vrps = List.init i (fun j -> Vrp.exact (p (Printf.sprintf "10.%d.0.0/16" j)) (a j)) in
+    Rtr.Session.publish session vrps;
+    Alcotest.check vset
+      (Printf.sprintf "state after update %d" i)
+      (Vset.of_list vrps) (Router.vrps router)
+  done;
+  Alcotest.(check int32) "serial counts updates" 30l (Cache.serial cache)
+
+let test_cache_reset_on_old_serial () =
+  let cache = Cache.create ~history_limit:2 vrps1 in
+  (* Burn the history window. *)
+  ignore (Cache.update cache vrps2);
+  ignore (Cache.update cache vrps1);
+  ignore (Cache.update cache vrps2);
+  let response = Cache.handle cache (Pdu.Serial_query { session_id = Cache.session_id cache; serial = 0l }) in
+  Alcotest.(check (list pdu)) "cache reset" [ Pdu.Cache_reset ] response;
+  (* A reachable serial still gets a delta. *)
+  match Cache.handle cache (Pdu.Serial_query { session_id = Cache.session_id cache; serial = 2l }) with
+  | Pdu.Cache_response _ :: _ -> ()
+  | _ -> Alcotest.fail "expected cache response for retained serial"
+
+let test_unknown_session_resets () =
+  let cache = Cache.create vrps1 in
+  match Cache.handle cache (Pdu.Serial_query { session_id = Cache.session_id cache + 1; serial = 0l }) with
+  | [ Pdu.Cache_reset ] -> ()
+  | _ -> Alcotest.fail "expected cache reset for unknown session"
+
+let test_router_recovers_from_cache_reset () =
+  let cache = Cache.create ~history_limit:1 vrps1 in
+  let session = Rtr.Session.connect cache 1 in
+  let router = List.hd (Rtr.Session.routers session) in
+  (* Push updates directly into the cache (no notify), exceeding the
+     history window; the next sync forces a reset + full reload. *)
+  ignore (Cache.update cache []);
+  ignore (Cache.update cache vrps2);
+  (match Router.receive router (Pdu.Serial_notify { session_id = Cache.session_id cache; serial = Cache.serial cache }) with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Rtr.Session.pump session;
+  Alcotest.(check bool) "synced again" true (Router.synced router);
+  Alcotest.check vset "full state recovered" (Vset.of_list vrps2) (Router.vrps router)
+
+let test_protocol_violations () =
+  let r = Router.create () in
+  (match Router.receive r (Pdu.Prefix { flags = Pdu.Announce; vrp = List.hd vrps1 }) with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "prefix outside transfer accepted");
+  (match Router.receive r Pdu.Reset_query with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "query accepted by router");
+  (* Duplicate announce within one transfer. *)
+  Router.start r;
+  ignore (Router.pending r);
+  (match Router.receive r (Pdu.Cache_response { session_id = 1 }) with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (match Router.receive r (Pdu.Prefix { flags = Pdu.Announce; vrp = List.hd vrps1 }) with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (match Router.receive r (Pdu.Prefix { flags = Pdu.Announce; vrp = List.hd vrps1 }) with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "duplicate announce accepted");
+  (* Withdrawal of an unknown record. *)
+  match Router.receive r (Pdu.Prefix { flags = Pdu.Withdraw; vrp = List.nth vrps1 2 }) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown withdrawal accepted"
+
+let gen_vrp_set = QCheck2.Gen.map (fun l -> Vset.elements (Vset.of_list l)) Testutil.gen_vrp_list
+
+let prop_sync_reaches_cache_state =
+  (* Whatever sequence of VRP sets the cache publishes, a connected
+     router ends up with exactly the cache's state. *)
+  QCheck2.Test.make ~name:"router state equals cache state after any update sequence" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 8) gen_vrp_set)
+    (fun updates ->
+      let cache = Cache.create [] in
+      let session = Rtr.Session.connect cache 1 in
+      List.iter (Rtr.Session.publish session) updates;
+      let router = List.hd (Rtr.Session.routers session) in
+      Router.synced router && Vset.equal (Router.vrps router) (Cache.vrps cache))
+
+let prop_pdu_roundtrip =
+  let gen_pdu =
+    let open QCheck2.Gen in
+    oneof
+      [ map2 (fun s n -> Pdu.Serial_notify { session_id = s; serial = Int32.of_int n }) (int_bound 0xffff) int;
+        map2 (fun s n -> Pdu.Serial_query { session_id = s; serial = Int32.of_int n }) (int_bound 0xffff) int;
+        return Pdu.Reset_query;
+        return Pdu.Cache_reset;
+        map (fun s -> Pdu.Cache_response { session_id = s }) (int_bound 0xffff);
+        map2
+          (fun announce vrp -> Pdu.Prefix { flags = (if announce then Pdu.Announce else Pdu.Withdraw); vrp })
+          bool Testutil.gen_vrp;
+        map2
+          (fun code (pdu_bytes, msg) -> Pdu.Error_report { code; erroneous_pdu = pdu_bytes; message = msg })
+          (oneofl [ Pdu.Corrupt_data; Pdu.Internal_error; Pdu.Invalid_request; Pdu.Unsupported_pdu_type ])
+          (pair (string_size (int_bound 30)) (string_size (int_bound 30))) ]
+  in
+  QCheck2.Test.make ~name:"PDU encode/decode roundtrip" ~count:500 gen_pdu (fun x ->
+      match Pdu.decode (Pdu.encode x) 0 with
+      | Ok (y, _) -> Pdu.equal x y
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "rtr"
+    [ ( "wire",
+        [ Alcotest.test_case "roundtrip all types" `Quick test_roundtrip_all;
+          Alcotest.test_case "stream decode" `Quick test_stream_decode;
+          Alcotest.test_case "pinned layout" `Quick test_wire_layout;
+          Alcotest.test_case "rejects malformed" `Quick test_decode_rejects;
+          Alcotest.test_case "byte-mutation fuzz" `Slow test_decode_total_fuzz ] );
+      ( "framer",
+        [ Alcotest.test_case "byte by byte" `Quick test_framer_byte_by_byte;
+          Alcotest.test_case "random chunks" `Quick test_framer_random_chunks;
+          Alcotest.test_case "empty and partial chunks" `Quick test_framer_empty_chunks;
+          Alcotest.test_case "terminal error" `Quick test_framer_terminal_error;
+          Alcotest.test_case "oversized PDU" `Quick test_framer_oversized_pdu ] );
+      ( "session",
+        [ Alcotest.test_case "initial sync" `Quick test_initial_sync;
+          Alcotest.test_case "incremental update" `Quick test_incremental_update;
+          Alcotest.test_case "delta is minimal" `Quick test_delta_is_minimal;
+          Alcotest.test_case "no-change update" `Quick test_no_change_no_serial;
+          Alcotest.test_case "many updates" `Quick test_many_updates_converge;
+          Alcotest.test_case "old serial gets reset" `Quick test_cache_reset_on_old_serial;
+          Alcotest.test_case "unknown session" `Quick test_unknown_session_resets;
+          Alcotest.test_case "recovers from cache reset" `Quick test_router_recovers_from_cache_reset;
+          Alcotest.test_case "protocol violations" `Quick test_protocol_violations ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sync_reaches_cache_state; prop_pdu_roundtrip;
+            prop_cache_answers_every_retained_serial ] ) ]

@@ -1,0 +1,122 @@
+(* RFC 6811 route origin validation — the paper's running example plus
+   the corner cases of the Covered/Matched definitions. *)
+
+module V = Rpki.Validation
+module Vrp = Rpki.Vrp
+
+let p = Testutil.p4
+let a = Testutil.a
+let check_state = Alcotest.check Testutil.validation_state
+
+(* The BU example: ROA (168.122.0.0/16, AS 111). *)
+let bu_db = V.create [ Vrp.exact (p "168.122.0.0/16") (a 111) ]
+
+(* The non-minimal variant: ROA (168.122.0.0/16-24, AS 111). *)
+let bu_maxlen_db = V.create [ Vrp.make_exn (p "168.122.0.0/16") ~max_len:24 (a 111) ]
+
+let test_paper_running_example () =
+  (* §2: the legitimate announcement is valid. *)
+  check_state "origin's own /16" V.Valid (V.validate bu_db (p "168.122.0.0/16") (a 111));
+  (* §2: a subprefix announced by AS 111 without its own ROA is
+     invalid ("this route would be considered invalid"). *)
+  check_state "de-aggregated /24 invalid" V.Invalid
+    (V.validate bu_db (p "168.122.1.0/24") (a 111));
+  (* §2: the subprefix hijack is invalid. *)
+  check_state "subprefix hijack" V.Invalid (V.validate bu_db (p "168.122.0.0/24") (a 666));
+  (* A prefix with no covering ROA is NotFound. *)
+  check_state "unrelated space" V.Not_found (V.validate bu_db (p "8.8.8.0/24") (a 666))
+
+let test_paper_maxlen_example () =
+  (* §3: with maxLength 24, AS 111 may originate any subprefix up to
+     /24... *)
+  check_state "/17" V.Valid (V.validate bu_maxlen_db (p "168.122.0.0/17") (a 111));
+  check_state "/24" V.Valid (V.validate bu_maxlen_db (p "168.122.255.0/24") (a 111));
+  (* ...but not /25. *)
+  check_state "/25" V.Invalid (V.validate bu_maxlen_db (p "168.122.0.0/25") (a 111));
+  (* §4: the forged-origin subprefix hijack's announcement IS valid —
+     that's the attack. Origin validation sees origin AS 111. *)
+  check_state "forged-origin announcement" V.Valid
+    (V.validate bu_maxlen_db (p "168.122.0.0/24") (a 111))
+
+let test_covering_vs_matching () =
+  let db =
+    V.create
+      [ Vrp.exact (p "10.0.0.0/16") (a 1);
+        Vrp.make_exn (p "10.0.0.0/8") ~max_len:16 (a 2) ]
+  in
+  (* Covered by both, matched by the /8-16 VRP for AS 2. *)
+  check_state "matched deeper origin" V.Valid (V.validate db (p "10.0.0.0/16") (a 2));
+  check_state "matched exact" V.Valid (V.validate db (p "10.0.0.0/16") (a 1));
+  (* Covered but matched by neither: /24 exceeds both maxLengths. *)
+  check_state "covered, too long" V.Invalid (V.validate db (p "10.0.0.0/24") (a 1));
+  check_state "covered, wrong AS" V.Invalid (V.validate db (p "10.0.1.0/24") (a 3))
+
+let test_as0 () =
+  (* RFC 6483: an AS0 VRP marks space as not-to-be-routed; it covers
+     but can never match. *)
+  let db = V.create [ Vrp.make_exn (p "192.0.2.0/24") ~max_len:32 Rpki.Asnum.zero ] in
+  check_state "AS0 invalidates" V.Invalid (V.validate db (p "192.0.2.0/24") (a 1));
+  check_state "even AS0 itself" V.Invalid (V.validate db (p "192.0.2.0/24") Rpki.Asnum.zero)
+
+let test_multiple_vrps_same_prefix () =
+  (* MOAS in the RPKI: either origin is valid. *)
+  let db = V.create [ Vrp.exact (p "10.0.0.0/16") (a 1); Vrp.exact (p "10.0.0.0/16") (a 2) ] in
+  Alcotest.(check int) "two VRPs" 2 (V.cardinal db);
+  check_state "origin 1" V.Valid (V.validate db (p "10.0.0.0/16") (a 1));
+  check_state "origin 2" V.Valid (V.validate db (p "10.0.0.0/16") (a 2));
+  check_state "origin 3" V.Invalid (V.validate db (p "10.0.0.0/16") (a 3))
+
+let test_duplicates_dedup () =
+  let v = Vrp.exact (p "10.0.0.0/16") (a 1) in
+  let db = V.create [ v; v; v ] in
+  Alcotest.(check int) "dedup" 1 (V.cardinal db);
+  Alcotest.(check (list Testutil.vrp)) "vrps" [ v ] (V.vrps db)
+
+let test_covering_vrps () =
+  let v8 = Vrp.make_exn (p "10.0.0.0/8") ~max_len:16 (a 2) in
+  let v16 = Vrp.exact (p "10.0.0.0/16") (a 1) in
+  let db = V.create [ v8; v16; Vrp.exact (p "11.0.0.0/8") (a 3) ] in
+  let cov = V.covering_vrps db (p "10.0.0.0/24") in
+  Alcotest.(check int) "two cover" 2 (List.length cov);
+  Alcotest.(check bool) "v8 included" true (List.exists (Vrp.equal v8) cov);
+  Alcotest.(check bool) "v16 included" true (List.exists (Vrp.equal v16) cov)
+
+let test_empty_db () =
+  let db = V.create [] in
+  check_state "everything NotFound" V.Not_found (V.validate db (p "10.0.0.0/8") (a 1));
+  Alcotest.(check int) "empty" 0 (V.cardinal db)
+
+(* Property: validate agrees with the naive definition over the raw
+   VRP list. *)
+let prop_validate_naive =
+  let open QCheck2 in
+  let gen =
+    Gen.triple Testutil.gen_vrp_list Testutil.gen_clustered_v4_prefix Testutil.gen_small_asn
+  in
+  Test.make ~name:"validate equals naive RFC 6811" ~count:500 gen (fun (vrps, q, origin) ->
+      let db = V.create vrps in
+      let covered = List.exists (fun v -> Vrp.covers v q) vrps in
+      let matched = List.exists (fun v -> Vrp.matches v q origin) vrps in
+      let expected = if matched then V.Valid else if covered then V.Invalid else V.Not_found in
+      V.validate db q origin = expected)
+
+let prop_vrps_roundtrip =
+  QCheck2.Test.make ~name:"db vrps reconstruct the distinct input" ~count:300
+    Testutil.gen_vrp_list (fun vrps ->
+      let db = V.create vrps in
+      let expected = List.sort_uniq Vrp.compare vrps in
+      List.equal Vrp.equal expected (V.vrps db))
+
+let () =
+  Alcotest.run "rpki.validation"
+    [ ( "rfc6811",
+        [ Alcotest.test_case "paper running example" `Quick test_paper_running_example;
+          Alcotest.test_case "paper maxLength example" `Quick test_paper_maxlen_example;
+          Alcotest.test_case "covered vs matched" `Quick test_covering_vs_matching;
+          Alcotest.test_case "AS0" `Quick test_as0;
+          Alcotest.test_case "MOAS VRPs" `Quick test_multiple_vrps_same_prefix;
+          Alcotest.test_case "duplicates" `Quick test_duplicates_dedup;
+          Alcotest.test_case "covering_vrps" `Quick test_covering_vrps;
+          Alcotest.test_case "empty db" `Quick test_empty_db ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_validate_naive; prop_vrps_roundtrip ] ) ]

@@ -1,0 +1,34 @@
+# Convenience targets wrapping dune. `bench-smoke` is the CI-grade
+# check for the parallel compression pipeline: a small-scale bench run
+# under 2 domains must produce BENCH_compress.json whose parallel
+# outputs are bit-identical to the sequential ones (the bench verifies
+# the actual output lists and exits non-zero on divergence; the grep
+# double-checks the recorded verdicts).
+
+SMOKE_JSON := BENCH_smoke.json
+
+.PHONY: build test bench bench-smoke clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-smoke:
+	rm -f $(SMOKE_JSON)
+	BENCH_SCALE=0.05 RPKI_DOMAINS=2 BENCH_ONLY=compress BENCH_JSON=$(SMOKE_JSON) \
+		dune exec bench/main.exe
+	@test -f $(SMOKE_JSON) || { echo "bench-smoke: $(SMOKE_JSON) missing"; exit 1; }
+	@grep -q '"outputs_identical": true' $(SMOKE_JSON) || \
+		{ echo "bench-smoke: no identical parallel run recorded"; exit 1; }
+	@! grep -q '"outputs_identical": false' $(SMOKE_JSON) || \
+		{ echo "bench-smoke: parallel compression drifted from sequential"; exit 1; }
+	@echo "bench-smoke: OK"
+
+clean:
+	dune clean
+	rm -f BENCH_compress.json $(SMOKE_JSON)

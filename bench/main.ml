@@ -1,13 +1,21 @@
 (* The benchmark & reproduction harness: regenerates every table and
    figure of the paper (printing paper-vs-measured), then times the
-   compress_roas pipeline and its substrates with Bechamel.
+   compress_roas pipeline — sequential vs parallel per domain count,
+   emitted as BENCH_compress.json — and its substrates with Bechamel.
 
    Environment knobs:
      BENCH_SCALE   dataset scale for Table 1 / section 6 (default 1.0,
                    the paper's 776,945-pair snapshot)
      FIG3_SCALE    dataset scale for the 8-week Figure 3 series
                    (default 0.25 to keep the run minutes-long)
-     BENCH_SEED    PRNG seed (default 42) *)
+     BENCH_SEED    PRNG seed (default 42)
+     RPKI_DOMAINS  domain count for the parallel pipelines (default
+                   Domain.recommended_domain_count; 1 = sequential)
+     BENCH_ONLY    comma-separated subset of sections to run, among
+                   section6, audit, table1, figure3, attack, compress,
+                   ablation, micro (default: all)
+     BENCH_JSON    output path for the machine-readable compression
+                   benchmark (default BENCH_compress.json) *)
 
 let getenv_float name default =
   match Sys.getenv_opt name with
@@ -22,6 +30,21 @@ let getenv_int name default =
 let scale = getenv_float "BENCH_SCALE" 1.0
 let fig3_scale = getenv_float "FIG3_SCALE" 0.25
 let seed = getenv_int "BENCH_SEED" 42
+let domains = Parallel.Pool.default_domains ()
+
+let json_path =
+  match Sys.getenv_opt "BENCH_JSON" with
+  | Some p when p <> "" -> p
+  | Some _ | None -> "BENCH_compress.json"
+
+let only_sections =
+  match Sys.getenv_opt "BENCH_ONLY" with
+  | None | Some "" -> None
+  | Some s ->
+    Some (String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) ""))
+
+let section_enabled name =
+  match only_sections with None -> true | Some names -> List.mem name names
 
 let banner title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -101,25 +124,117 @@ let attack_eval () =
      \  Invalid and captures 0%; the traditional forged-origin fallback splits\n\
      \  traffic with the majority staying on the legitimate route."
 
-(* Section 7.2-style wall-clock + allocation measurement. The paper
-   reports 2.4 s / 19 MB today-scale and 36 s / 290 MB full-scale on an
-   i7-6700; absolute numbers differ by machine and implementation, the
-   scaling shape is the claim. *)
-let section72 snap =
-  banner "Section 7.2: compress_roas computational cost";
-  let measure name vrps =
-    let bytes_before = Gc.allocated_bytes () in
-    let t0 = Sys.time () in
-    let _, stats = Mlcore.Compress.run_with_stats vrps in
-    let dt = Sys.time () -. t0 in
-    let mb = (Gc.allocated_bytes () -. bytes_before) /. 1_048_576.0 in
-    Printf.printf "  %-28s %8d -> %8d tuples   %6.2f s CPU   %8.1f MB allocated\n" name
-      stats.Mlcore.Compress.input stats.Mlcore.Compress.output dt mb;
-    Format.printf "  %-28s (%a)@." "" Mlcore.Compress.pp_stats stats
+(* Section 7.2-style wall-clock + allocation measurement, extended
+   with the sequential-vs-parallel comparison and a machine-readable
+   trajectory file (BENCH_compress.json) that later PRs regress
+   against. The paper reports 2.4 s / 19 MB today-scale and 36 s /
+   290 MB full-scale on an i7-6700; absolute numbers differ by machine
+   and implementation, the scaling shape is the claim. *)
+
+type domain_run = { d_domains : int; d_wall : float; d_identical : bool }
+
+type compress_result = {
+  c_name : string;
+  c_in : int;
+  c_out : int;
+  c_pct : float; (* compression, percent *)
+  c_seq_wall : float;
+  c_runs : domain_run list;
+}
+
+let parallel_domain_counts =
+  (* Always probe 2 and 4 (the acceptance axis), plus whatever
+     RPKI_DOMAINS asks for. *)
+  List.sort_uniq compare (List.filter (fun d -> d > 1) [ 2; 4; domains ])
+
+let bench_compress_dataset (name, vrps) =
+  let bytes_before = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let seq_out, stats = Mlcore.Compress.run_with_stats ~domains:1 vrps in
+  let seq_wall = Unix.gettimeofday () -. t0 in
+  let mb = (Gc.allocated_bytes () -. bytes_before) /. 1_048_576.0 in
+  Printf.printf "  %-24s %8d -> %8d tuples   seq %7.2f s wall   %8.1f MB allocated\n" name
+    stats.Mlcore.Compress.input stats.Mlcore.Compress.output seq_wall mb;
+  Format.printf "  %-24s (%a)@." "" Mlcore.Compress.pp_stats stats;
+  let runs =
+    List.map
+      (fun d ->
+        let t0 = Unix.gettimeofday () in
+        let out, _ = Mlcore.Compress.run_with_stats ~domains:d vrps in
+        let wall = Unix.gettimeofday () -. t0 in
+        let identical = List.equal Rpki.Vrp.equal out seq_out in
+        Printf.printf "  %-24s %d domains: %7.2f s wall   speedup %5.2fx   output %s\n" ""
+          d wall
+          (if wall > 0.0 then seq_wall /. wall else 0.0)
+          (if identical then "identical" else "DIVERGED");
+        { d_domains = d; d_wall = wall; d_identical = identical })
+      parallel_domain_counts
   in
-  measure "today's RPKI" (Dataset.Snapshot.vrps snap);
-  measure "full deployment" (Mlcore.Minimal.full_deployment_vrps snap.Dataset.Snapshot.table);
-  Printf.printf "  (paper, i7-6700: today 2.4 s / 19 MB; full deployment 36 s / 290 MB)\n"
+  { c_name = name;
+    c_in = stats.Mlcore.Compress.input;
+    c_out = stats.Mlcore.Compress.output;
+    c_pct =
+      100.0
+      *. Mlcore.Compress.compression_ratio ~before:stats.Mlcore.Compress.input
+           ~after:stats.Mlcore.Compress.output;
+    c_seq_wall = seq_wall;
+    c_runs = runs }
+
+(* Hand-rolled JSON writer — the schema is flat and we take no
+   dependency for it. Documented in README.md. *)
+let write_bench_json path results =
+  let buf = Buffer.create 2048 in
+  let spf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  spf "{\n";
+  spf "  \"schema\": \"rpki-maxlen/bench-compress/v1\",\n";
+  spf "  \"seed\": %d,\n" seed;
+  spf "  \"scale\": %g,\n" scale;
+  spf "  \"rpki_domains\": %d,\n" domains;
+  spf "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  spf "  \"datasets\": [\n";
+  List.iteri
+    (fun i r ->
+      spf "    {\n";
+      spf "      \"name\": %S,\n" r.c_name;
+      spf "      \"tuples_in\": %d,\n" r.c_in;
+      spf "      \"tuples_out\": %d,\n" r.c_out;
+      spf "      \"compression_pct\": %.4f,\n" r.c_pct;
+      spf "      \"sequential\": { \"domains\": 1, \"wall_s\": %.6f },\n" r.c_seq_wall;
+      spf "      \"parallel\": [\n";
+      List.iteri
+        (fun j run ->
+          spf
+            "        { \"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.4f, \
+             \"outputs_identical\": %b }%s\n"
+            run.d_domains run.d_wall
+            (if run.d_wall > 0.0 then r.c_seq_wall /. run.d_wall else 0.0)
+            run.d_identical
+            (if j = List.length r.c_runs - 1 then "" else ",")
+        )
+        r.c_runs;
+      spf "      ]\n";
+      spf "    }%s\n" (if i = List.length results - 1 then "" else ",")
+    )
+    results;
+  spf "  ]\n";
+  spf "}\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
+
+let section72 snap =
+  banner "Section 7.2: compress_roas computational cost (sequential vs parallel)";
+  let results =
+    List.map bench_compress_dataset
+      [ ("today", Dataset.Snapshot.vrps snap);
+        ("full_deployment", Mlcore.Minimal.full_deployment_vrps snap.Dataset.Snapshot.table) ]
+  in
+  write_bench_json json_path results;
+  Printf.printf "  (paper, i7-6700: today 2.4 s / 19 MB; full deployment 36 s / 290 MB)\n";
+  Printf.printf "  wrote %s\n" json_path;
+  if List.exists (fun r -> List.exists (fun run -> not run.d_identical) r.c_runs) results
+  then begin
+    prerr_endline "BENCH FAILURE: parallel compression output diverged from sequential";
+    exit 1
+  end
 
 (* --- ablation: Strict vs Paper merge rule --- *)
 
@@ -256,15 +371,19 @@ let micro_benchmarks snap =
 let () =
   Printf.printf
     "MaxLength Considered Harmful to the RPKI (CoNEXT'17) — reproduction harness\n\
-     scale=%.3f fig3_scale=%.3f seed=%d\n"
-    scale fig3_scale seed;
-  let snap = Dataset.Snapshot.generate ~params:(Dataset.Snapshot.scaled scale) ~seed () in
-  section6 snap;
-  audit snap;
-  table1 snap;
-  figure3 ();
-  attack_eval ();
-  section72 snap;
-  ablation snap;
-  micro_benchmarks snap;
+     scale=%.3f fig3_scale=%.3f seed=%d domains=%d (recommended %d)\n"
+    scale fig3_scale seed domains
+    (Domain.recommended_domain_count ());
+  (* The snapshot is lazy so narrow BENCH_ONLY runs (e.g. the
+     bench-smoke target) only generate what they use. *)
+  let snap = lazy (Dataset.Snapshot.generate ~params:(Dataset.Snapshot.scaled scale) ~seed ()) in
+  let section name f = if section_enabled name then f () in
+  section "section6" (fun () -> section6 (Lazy.force snap));
+  section "audit" (fun () -> audit (Lazy.force snap));
+  section "table1" (fun () -> table1 (Lazy.force snap));
+  section "figure3" figure3;
+  section "attack" attack_eval;
+  section "compress" (fun () -> section72 (Lazy.force snap));
+  section "ablation" (fun () -> ablation (Lazy.force snap));
+  section "micro" (fun () -> micro_benchmarks (Lazy.force snap));
   banner "Done"

@@ -11,6 +11,14 @@ let seed_arg =
   let doc = "PRNG seed; every output is deterministic in it." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let domains_arg =
+  let doc =
+    "Domains (OS-level threads) for the parallel pipelines; $(b,1) forces the exact \
+     sequential path. Defaults to the $(b,RPKI_DOMAINS) environment variable, else the \
+     recommended domain count. Output is bit-identical at every value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains"; "j" ] ~docv:"N" ~doc)
+
 let mode_arg =
   let doc =
     "Compression merge rule: $(b,strict) (lossless, default) or $(b,paper) (Algorithm 1 \
@@ -23,23 +31,23 @@ let snapshot scale seed =
   Dataset.Snapshot.generate ~params:(Dataset.Snapshot.scaled scale) ~seed ()
 
 let measure_cmd =
-  let run scale seed =
-    let stats = Mlcore.Analysis.measure (snapshot scale seed) in
+  let run scale seed domains =
+    let stats = Mlcore.Analysis.measure ?domains (snapshot scale seed) in
     print_endline (Mlcore.Report.render_stats stats)
   in
   Cmd.v
     (Cmd.info "measure" ~doc:"Reproduce the section-6 measurements on a synthetic snapshot.")
-    Term.(const run $ scale_arg $ seed_arg)
+    Term.(const run $ scale_arg $ seed_arg $ domains_arg)
 
 let table1_cmd =
-  let run scale seed mode =
+  let run scale seed mode domains =
     Mlcore.Scenario.compression_mode := mode;
-    let rows = Mlcore.Scenario.table1 (snapshot scale seed) in
+    let rows = Mlcore.Scenario.table1 ?domains (snapshot scale seed) in
     print_string (Mlcore.Report.render_table1 ~scale rows)
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce Table 1 (PDU counts for the seven scenarios).")
-    Term.(const run $ scale_arg $ seed_arg $ mode_arg)
+    Term.(const run $ scale_arg $ seed_arg $ mode_arg $ domains_arg)
 
 let figure3_cmd =
   let panel_arg =
@@ -50,10 +58,10 @@ let figure3_cmd =
     let doc = "Emit CSV instead of an aligned table." in
     Arg.(value & flag & info [ "csv" ] ~doc)
   in
-  let run scale seed mode panel csv =
+  let run scale seed mode panel csv domains =
     Mlcore.Scenario.compression_mode := mode;
     let weeks =
-      Dataset.Timeline.generate ~params:(Dataset.Snapshot.scaled scale) ~seed ()
+      Dataset.Timeline.generate ~params:(Dataset.Snapshot.scaled scale) ?domains ~seed ()
     in
     let title, series =
       match panel with
@@ -65,14 +73,14 @@ let figure3_cmd =
   in
   Cmd.v
     (Cmd.info "figure3" ~doc:"Reproduce Figure 3 (PDU counts along the weekly timeline).")
-    Term.(const run $ scale_arg $ seed_arg $ mode_arg $ panel_arg $ csv_arg)
+    Term.(const run $ scale_arg $ seed_arg $ mode_arg $ panel_arg $ csv_arg $ domains_arg)
 
 let compress_cmd =
   let input_arg =
     let doc = "VRP CSV file (prefix,maxLength,asn per line); - for stdin." in
     Arg.(value & opt string "-" & info [ "input"; "i" ] ~docv:"FILE" ~doc)
   in
-  let run mode input =
+  let run mode input domains =
     let contents =
       if input = "-" then In_channel.input_all stdin
       else In_channel.with_open_text input In_channel.input_all
@@ -82,7 +90,7 @@ let compress_cmd =
       prerr_endline ("error: " ^ e);
       exit 1
     | Ok vrps ->
-      let compressed = Mlcore.Compress.run ~mode vrps in
+      let compressed = Mlcore.Compress.run ~mode ?domains vrps in
       print_string (Rpki.Scan_roas.to_csv compressed);
       Printf.eprintf "compressed %d -> %d tuples (%.2f%%)\n" (List.length vrps)
         (List.length compressed)
@@ -93,7 +101,7 @@ let compress_cmd =
   Cmd.v
     (Cmd.info "compress"
        ~doc:"Run compress_roas on a VRP CSV (drop-in for the scan_roas output format).")
-    Term.(const run $ mode_arg $ input_arg)
+    Term.(const run $ mode_arg $ input_arg $ domains_arg)
 
 let hijack_cmd =
   let ases_arg =

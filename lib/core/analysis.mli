@@ -23,7 +23,12 @@ type stats = {
       (** [1 - lower_bound / bgp_pairs] — the paper's 6.2%. *)
 }
 
-val measure : Dataset.Snapshot.t -> stats
+val measure : ?domains:int -> Dataset.Snapshot.t -> stats
+(** [?domains] (default: [RPKI_DOMAINS], else the recommended domain
+    count) forks the three independent heavy passes — vulnerability
+    scan, minimal-VRP construction, lower-bound count — onto a domain
+    pool; [1] runs them sequentially. The result is identical either
+    way. *)
 
 val maxlen_usage_fraction : stats -> float
 (** [maxlen_vrps / vrps] (paper: ~12%). *)

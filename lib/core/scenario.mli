@@ -14,11 +14,14 @@ type row = {
           dataset, when run at paper scale. *)
 }
 
-val table1 : Dataset.Snapshot.t -> row list
+val table1 : ?domains:int -> Dataset.Snapshot.t -> row list
 (** The seven Table 1 scenarios, in the paper's order:
     status quo; status quo compressed; minimal no-maxLength; minimal
     compressed; full-deployment minimal; full-deployment compressed;
-    max-permissive lower bound. *)
+    max-permissive lower bound. [?domains] (default: [RPKI_DOMAINS],
+    else the recommended count) evaluates the four independent
+    pipelines behind the rows on a domain pool; the counts are
+    identical at every domain count. *)
 
 type series = { name : string; secure : bool; points : (string * int) list }
 

@@ -2,18 +2,32 @@ type week = { label : string; snapshot : Snapshot.t }
 
 let labels = [ "4/13"; "4/20"; "4/27"; "5/4"; "5/11"; "5/18"; "5/25"; "6/1" ]
 
-let generate ?(params = Snapshot.default_params) ?(weekly_growth = 0.003) ~seed () =
-  List.mapi
-    (fun i label ->
-      let weeks_before_last = float_of_int (List.length labels - 1 - i) in
-      let factor = 1.0 /. ((1.0 +. weekly_growth) ** weeks_before_last) in
-      let params =
-        { params with
-          Snapshot.pairs_target =
-            max 100 (int_of_float (float_of_int params.Snapshot.pairs_target *. factor)) }
-      in
-      (* Same seed across weeks: consecutive snapshots share their
-         generation prefix, so week-to-week change is genuine growth
-         plus churn, not resampling noise. *)
-      { label; snapshot = Snapshot.generate ~params ~seed () })
-    labels
+let generate ?(params = Snapshot.default_params) ?(weekly_growth = 0.003) ?domains ~seed () =
+  let domains = match domains with Some d -> d | None -> Parallel.Pool.default_domains () in
+  let week_params =
+    List.mapi
+      (fun i label ->
+        let weeks_before_last = float_of_int (List.length labels - 1 - i) in
+        let factor = 1.0 /. ((1.0 +. weekly_growth) ** weeks_before_last) in
+        ( label,
+          { params with
+            Snapshot.pairs_target =
+              max 100 (int_of_float (float_of_int params.Snapshot.pairs_target *. factor)) } ))
+      labels
+    |> Array.of_list
+  in
+  (* Same seed across weeks: consecutive snapshots share their
+     generation prefix, so week-to-week change is genuine growth plus
+     churn, not resampling noise. Each week derives its own private
+     PRNG stream from that seed inside [Snapshot.generate], touching
+     no state outside its task — which is what makes one-domain-per-
+     week generation below both safe and bit-identical to the
+     sequential loop. *)
+  let week_of (label, params) = { label; snapshot = Snapshot.generate ~params ~seed () } in
+  let weeks =
+    if domains <= 1 || Parallel.Pool.in_parallel_region () then Array.map week_of week_params
+    else
+      Parallel.Pool.run ~domains (fun pool ->
+          Parallel.Pool.parallel_map pool ~f:week_of week_params)
+  in
+  Array.to_list weeks

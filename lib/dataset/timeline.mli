@@ -14,9 +14,14 @@ val labels : string list
 val generate :
   ?params:Snapshot.params ->
   ?weekly_growth:float ->
+  ?domains:int ->
   seed:int ->
   unit ->
   week list
 (** Eight snapshots. [weekly_growth] is the per-week relative increase
     in table size (default 0.003, matching the paper's ~2% growth over
-    the window; week 8 lands on [params.pairs_target]). *)
+    the window; week 8 lands on [params.pairs_target]). [?domains]
+    (default: [RPKI_DOMAINS], else the recommended count) generates
+    one week per pool domain; every week derives a private PRNG
+    stream from [seed], so the series is bit-identical at any domain
+    count. *)

@@ -108,6 +108,24 @@ let test_strict_vs_paper_divergence () =
   Alcotest.check Testutil.validation_state "paper-mode output over-authorizes /17" V.Valid
     (V.validate db_paper probe (a 7))
 
+let test_direct_child_tie () =
+  (* Paper mode's "direct child" is the nearest stored descendant:
+     minimal depth, leftmost on a depth tie. The left half of the /16
+     holds two stored nodes at equal depth — 10.0.0.0/18 (leftmost,
+     maxLength 20) and 10.0.64.0/18 (maxLength 30) — and the right
+     half holds 10.0.128.0/17 (maxLength 25). Leftmost-on-tie gives
+     min(20, 25) = 20: the /16 rises to 20 and absorbs only the
+     /18-20. Taking the rightmost /18 instead would give
+     min(30, 25) = 25 and absorb the /17 — a different output, so
+     this pins the traversal order of the BFS. *)
+  let input =
+    [ v "10.0.0.0/16" 16 7; v "10.0.0.0/18" 20 7; v "10.0.64.0/18" 30 7;
+      v "10.0.128.0/17" 25 7 ]
+  in
+  check_vrps "leftmost wins the tie"
+    [ v "10.0.0.0/16" 20 7; v "10.0.64.0/18" 30 7; v "10.0.128.0/17" 25 7 ]
+    (Compress.run ~mode:Compress.Paper ~eliminate:false input)
+
 let test_run_with_stats () =
   (* Figure 2: one merge absorbing one child, nothing covered. *)
   let input, _ = Compress.figure2_example () in
@@ -258,6 +276,25 @@ let prop_differential_reference =
     Testutil.gen_vrp_list (fun vrps ->
       List.equal Vrp.equal (Compress.run ~mode:Compress.Strict vrps) (reference_compress vrps))
 
+let prop_parallel_bit_identical =
+  (* The tentpole guarantee: sharding the pipeline over a domain pool
+     changes nothing observable. Output lists, stats, and the
+     standalone elimination pass must be exactly equal to the
+     sequential path at every domain count, in both merge modes. *)
+  QCheck2.Test.make ~name:"parallel (2/4/8 domains) equals sequential bit-for-bit" ~count:60
+    Testutil.gen_vrp_list (fun vrps ->
+      let seq_out, seq_stats = Compress.run_with_stats ~domains:1 vrps in
+      let seq_paper = Compress.run ~mode:Compress.Paper ~domains:1 vrps in
+      let seq_elim = Compress.eliminate_covered ~domains:1 vrps in
+      List.for_all
+        (fun d ->
+          let out, stats = Compress.run_with_stats ~domains:d vrps in
+          List.equal Vrp.equal out seq_out
+          && stats = seq_stats
+          && List.equal Vrp.equal (Compress.run ~mode:Compress.Paper ~domains:d vrps) seq_paper
+          && List.equal Vrp.equal (Compress.eliminate_covered ~domains:d vrps) seq_elim)
+        [ 2; 4; 8 ])
+
 let prop_paper_mode_never_shrinks_coverage =
   (* Paper mode may over-authorize but must never lose an authorization:
      anything valid before stays valid. *)
@@ -286,6 +323,7 @@ let () =
           Alcotest.test_case "eliminate_covered" `Quick test_eliminate_covered;
           Alcotest.test_case "idempotent on figure 2" `Quick test_idempotent;
           Alcotest.test_case "strict vs paper divergence" `Quick test_strict_vs_paper_divergence;
+          Alcotest.test_case "direct-child minimal-depth/leftmost tie" `Quick test_direct_child_tie;
           Alcotest.test_case "compression ratio" `Quick test_compression_ratio;
           Alcotest.test_case "run_with_stats" `Quick test_run_with_stats ] );
       ( "properties",
@@ -297,4 +335,5 @@ let () =
             prop_reaches_bound_on_full_tree;
             prop_differential_reference;
             prop_stats_balance;
+            prop_parallel_bit_identical;
             prop_paper_mode_never_shrinks_coverage ] ) ]

@@ -1,0 +1,117 @@
+(* The domain pool (lib/parallel): result ordering, exception
+   propagation, nested-use rejection, sequential fallback, lifecycle.
+   These are the invariants the parallel compress/analysis/timeline
+   paths lean on for bit-identical output. *)
+
+module Pool = Parallel.Pool
+
+let test_map_ordering () =
+  let input = Array.init 1000 Fun.id in
+  let expected = Array.map (fun x -> x * x) input in
+  List.iter
+    (fun d ->
+      Pool.with_pool ~domains:d (fun pool ->
+          let got = Pool.parallel_map pool ~f:(fun x -> x * x) input in
+          Alcotest.(check (array int)) (Printf.sprintf "%d domains" d) expected got))
+    [ 1; 2; 4; 8 ]
+
+let test_empty_input () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check (array int)) "empty map" [||] (Pool.parallel_map pool ~f:Fun.id [||]);
+      Pool.parallel_iter pool ~f:(fun _ -> Alcotest.fail "must not run") [||])
+
+let test_iter_covers_all () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let out = Array.make 512 0 in
+      Pool.parallel_iter pool ~f:(fun i -> out.(i) <- i + 1) (Array.init 512 Fun.id);
+      Alcotest.(check (array int)) "every index written" (Array.init 512 (fun i -> i + 1)) out)
+
+let test_tasks_ordered () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let results =
+        Pool.parallel_tasks pool [ (fun () -> "a"); (fun () -> "b"); (fun () -> "c") ]
+      in
+      Alcotest.(check (list string)) "results in input order" [ "a"; "b"; "c" ] results)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  List.iter
+    (fun d ->
+      Pool.with_pool ~domains:d (fun pool ->
+          match
+            Pool.parallel_map pool
+              ~f:(fun x -> if x = 500 then raise (Boom x) else x)
+              (Array.init 1000 Fun.id)
+          with
+          | _ -> Alcotest.fail "expected Boom to propagate"
+          | exception Boom 500 -> ()))
+    [ 1; 4 ]
+
+let test_pool_survives_failure () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      (try ignore (Pool.parallel_map pool ~f:(fun _ -> raise Exit) [| 0; 1; 2 |])
+       with Exit -> ());
+      let got = Pool.parallel_map pool ~f:(fun x -> x + 1) [| 1; 2; 3 |] in
+      Alcotest.(check (array int)) "next job runs normally" [| 2; 3; 4 |] got)
+
+let test_nested_use_rejected () =
+  List.iter
+    (fun d ->
+      Pool.with_pool ~domains:d (fun pool ->
+          let got =
+            Pool.parallel_map pool
+              ~f:(fun _ ->
+                try
+                  ignore (Pool.parallel_map pool ~f:Fun.id [| 1 |]);
+                  false
+                with Invalid_argument _ -> true)
+              [| 0 |]
+          in
+          Alcotest.(check (array bool))
+            (Printf.sprintf "nested call rejected (%d domains)" d)
+            [| true |] got))
+    [ 1; 2 ]
+
+let test_in_parallel_region () =
+  Alcotest.(check bool) "false outside" false (Pool.in_parallel_region ());
+  Pool.with_pool ~domains:2 (fun pool ->
+      let got = Pool.parallel_map pool ~f:(fun _ -> Pool.in_parallel_region ()) [| 0; 1; 2 |] in
+      Alcotest.(check (array bool)) "true inside tasks" [| true; true; true |] got);
+  Alcotest.(check bool) "false again after" false (Pool.in_parallel_region ())
+
+let test_shutdown_lifecycle () =
+  let pool = Pool.create ~domains:2 () in
+  Alcotest.(check int) "domain_count" 2 (Pool.domain_count pool);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  match Pool.parallel_map pool ~f:Fun.id [| 1 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
+  | exception Invalid_argument _ -> ()
+
+let test_domain_count_clamped () =
+  Alcotest.(check int) "0 clamps to 1" 1 (Pool.with_pool ~domains:0 Pool.domain_count);
+  Alcotest.(check int) "4 stays 4" 4 (Pool.with_pool ~domains:4 Pool.domain_count)
+
+let test_cached_run () =
+  let r = Pool.run ~domains:3 (fun pool -> Pool.parallel_map pool ~f:(fun x -> 2 * x) [| 1; 2 |]) in
+  Alcotest.(check (array int)) "first use" [| 2; 4 |] r;
+  (* Same size reuses the cached pool; just exercise it again. *)
+  let r = Pool.run ~domains:3 (fun pool -> Pool.parallel_map pool ~f:(fun x -> x + 1) [| 1; 2 |]) in
+  Alcotest.(check (array int)) "cached reuse" [| 2; 3 |] r
+
+let () =
+  Alcotest.run "parallel.pool"
+    [ ( "pool",
+        [ Alcotest.test_case "map ordering (1/2/4/8 domains)" `Quick test_map_ordering;
+          Alcotest.test_case "empty input" `Quick test_empty_input;
+          Alcotest.test_case "iter covers all" `Quick test_iter_covers_all;
+          Alcotest.test_case "heterogeneous tasks ordered" `Quick test_tasks_ordered;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "pool survives a failed job" `Quick test_pool_survives_failure;
+          Alcotest.test_case "nested use rejected" `Quick test_nested_use_rejected;
+          Alcotest.test_case "in_parallel_region flag" `Quick test_in_parallel_region;
+          Alcotest.test_case "shutdown lifecycle" `Quick test_shutdown_lifecycle;
+          Alcotest.test_case "domain count clamped" `Quick test_domain_count_clamped;
+          Alcotest.test_case "cached run pools" `Quick test_cached_run ] ) ]

@@ -1,13 +1,16 @@
 # Convenience targets wrapping dune. `bench-smoke` is the CI-grade
-# check for the parallel compression pipeline: a small-scale bench run
-# under 2 domains must produce BENCH_compress.json whose parallel
-# outputs are bit-identical to the sequential ones (the bench verifies
-# the actual output lists and exits non-zero on divergence; the grep
-# double-checks the recorded verdicts).
+# check for the parallel pipelines: a small-scale bench run under
+# 2 domains must produce BENCH_compress.json whose parallel outputs
+# are bit-identical to the sequential ones (the bench verifies the
+# actual output lists and exits non-zero on divergence; the grep
+# double-checks the recorded verdicts), and — via
+# `bench-validate-smoke` — BENCH_validate.json whose parallel
+# bulk-validation checksums agree with the sequential sweeps.
 
 SMOKE_JSON := BENCH_smoke.json
+VALIDATE_SMOKE_JSON := BENCH_validate_smoke.json
 
-.PHONY: build test bench bench-smoke clean
+.PHONY: build test bench bench-smoke bench-validate-smoke clean
 
 build:
 	dune build
@@ -18,7 +21,7 @@ test:
 bench:
 	dune exec bench/main.exe
 
-bench-smoke:
+bench-smoke: bench-validate-smoke
 	rm -f $(SMOKE_JSON)
 	BENCH_SCALE=0.05 RPKI_DOMAINS=2 BENCH_ONLY=compress BENCH_JSON=$(SMOKE_JSON) \
 		dune exec bench/main.exe
@@ -29,6 +32,21 @@ bench-smoke:
 		{ echo "bench-smoke: parallel compression drifted from sequential"; exit 1; }
 	@echo "bench-smoke: OK"
 
+bench-validate-smoke:
+	rm -f $(VALIDATE_SMOKE_JSON)
+	BENCH_SCALE=0.05 RPKI_DOMAINS=2 BENCH_ONLY=validate \
+		BENCH_VALIDATE_JSON=$(VALIDATE_SMOKE_JSON) \
+		dune exec bench/main.exe
+	@test -f $(VALIDATE_SMOKE_JSON) || \
+		{ echo "bench-validate-smoke: $(VALIDATE_SMOKE_JSON) missing"; exit 1; }
+	@grep -q '"schema": "rpki-maxlen/bench-validate/v1"' $(VALIDATE_SMOKE_JSON) || \
+		{ echo "bench-validate-smoke: bad schema"; exit 1; }
+	@grep -q '"agrees": true' $(VALIDATE_SMOKE_JSON) || \
+		{ echo "bench-validate-smoke: no agreeing parallel run recorded"; exit 1; }
+	@! grep -q '"agrees": false' $(VALIDATE_SMOKE_JSON) || \
+		{ echo "bench-validate-smoke: parallel validation drifted from sequential"; exit 1; }
+	@echo "bench-validate-smoke: OK"
+
 clean:
 	dune clean
-	rm -f BENCH_compress.json $(SMOKE_JSON)
+	rm -f BENCH_compress.json BENCH_validate.json $(SMOKE_JSON) $(VALIDATE_SMOKE_JSON)

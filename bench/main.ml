@@ -13,9 +13,12 @@
                    Domain.recommended_domain_count; 1 = sequential)
      BENCH_ONLY    comma-separated subset of sections to run, among
                    section6, audit, table1, figure3, attack, compress,
-                   ablation, micro (default: all)
+                   validate, ablation, micro (default: all)
      BENCH_JSON    output path for the machine-readable compression
-                   benchmark (default BENCH_compress.json) *)
+                   benchmark (default BENCH_compress.json)
+     BENCH_VALIDATE_JSON
+                   output path for the machine-readable validation
+                   benchmark (default BENCH_validate.json) *)
 
 let getenv_float name default =
   match Sys.getenv_opt name with
@@ -36,6 +39,11 @@ let json_path =
   match Sys.getenv_opt "BENCH_JSON" with
   | Some p when p <> "" -> p
   | Some _ | None -> "BENCH_compress.json"
+
+let validate_json_path =
+  match Sys.getenv_opt "BENCH_VALIDATE_JSON" with
+  | Some p when p <> "" -> p
+  | Some _ | None -> "BENCH_validate.json"
 
 let only_sections =
   match Sys.getenv_opt "BENCH_ONLY" with
@@ -236,6 +244,127 @@ let section72 snap =
     exit 1
   end
 
+(* --- bulk validation data path (BENCH_validate.json) --- *)
+
+(* Bulk sweeps over the hot read-side queries the Patricia index
+   serves: RFC 6811 origin validation of every announced (prefix,
+   origin) pair, the same-origin-ancestor query behind
+   max_permissive_vrps, and the is_minimal_vrp subtree sweep. Each
+   workload reduces per-query results to an int checksum; parallel
+   runs (the trie is read-only here, so concurrent lookups are safe)
+   must reproduce the sequential checksum exactly. *)
+
+type v_run = { v_domains : int; v_wall : float; v_agrees : bool }
+
+type v_result = {
+  v_name : string;
+  v_queries : int;
+  v_seq_wall : float;
+  v_runs : v_run list;
+}
+
+let ns_per_query wall queries =
+  if queries > 0 then wall *. 1e9 /. float_of_int queries else 0.0
+
+(* [f] maps one element to an int; the checksum is the sum over the
+   array, computed element-wise so the parallel path can reuse [f]
+   unchanged via parallel_map. *)
+let bench_validate_workload name arr f =
+  let queries = Array.length arr in
+  let sum = Array.fold_left ( + ) 0 in
+  let t0 = Unix.gettimeofday () in
+  let expected = sum (Array.map f arr) in
+  let seq_wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "  %-28s %8d queries   seq %7.3f s   %10.1f ns/query\n" name queries seq_wall
+    (ns_per_query seq_wall queries);
+  let runs =
+    List.map
+      (fun d ->
+        let t0 = Unix.gettimeofday () in
+        let got =
+          sum (Parallel.Pool.run ~domains:d (fun pool -> Parallel.Pool.parallel_map pool ~f arr))
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let agrees = got = expected in
+        Printf.printf "  %-28s %d domains: %7.3f s   speedup %5.2fx   %s\n" "" d wall
+          (if wall > 0.0 then seq_wall /. wall else 0.0)
+          (if agrees then "agrees" else "DIVERGED");
+        { v_domains = d; v_wall = wall; v_agrees = agrees })
+      parallel_domain_counts
+  in
+  { v_name = name; v_queries = queries; v_seq_wall = seq_wall; v_runs = runs }
+
+(* Same hand-rolled style as [write_bench_json]; schema documented in
+   README.md. *)
+let write_validate_json path results =
+  let buf = Buffer.create 2048 in
+  let spf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  spf "{\n";
+  spf "  \"schema\": \"rpki-maxlen/bench-validate/v1\",\n";
+  spf "  \"seed\": %d,\n" seed;
+  spf "  \"scale\": %g,\n" scale;
+  spf "  \"rpki_domains\": %d,\n" domains;
+  spf "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      spf "    {\n";
+      spf "      \"name\": %S,\n" r.v_name;
+      spf "      \"queries\": %d,\n" r.v_queries;
+      spf "      \"sequential\": { \"domains\": 1, \"wall_s\": %.6f, \"ns_per_query\": %.1f },\n"
+        r.v_seq_wall
+        (ns_per_query r.v_seq_wall r.v_queries);
+      spf "      \"parallel\": [\n";
+      List.iteri
+        (fun j run ->
+          spf
+            "        { \"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.4f, \"agrees\": %b }%s\n"
+            run.v_domains run.v_wall
+            (if run.v_wall > 0.0 then r.v_seq_wall /. run.v_wall else 0.0)
+            run.v_agrees
+            (if j = List.length r.v_runs - 1 then "" else ","))
+        r.v_runs;
+      spf "      ]\n";
+      spf "    }%s\n" (if i = List.length results - 1 then "" else ","))
+    results;
+  spf "  ]\n";
+  spf "}\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
+
+let section_validate snap =
+  banner "Validation data path: bulk queries over the path-compressed index";
+  let table = snap.Dataset.Snapshot.table in
+  let vrps = Dataset.Snapshot.vrps snap in
+  let db = Rpki.Validation.create vrps in
+  let pairs = Array.of_list (Dataset.Bgp_table.pairs table) in
+  let vrps_arr = Array.of_list vrps in
+  let state_code = function
+    | Rpki.Validation.Valid -> 1
+    | Rpki.Validation.Invalid -> 2
+    | Rpki.Validation.Not_found -> 3
+  in
+  (* explicit lets: list literals evaluate right-to-left, which would
+     interleave the progress output out of order *)
+  let r_validate =
+    bench_validate_workload "validation/bulk-validate" pairs (fun (p, a) ->
+        state_code (Rpki.Validation.validate db p a))
+  in
+  let r_ancestor =
+    bench_validate_workload "bgp_table/bulk-ancestor" pairs (fun (p, a) ->
+        if Dataset.Bgp_table.has_same_origin_ancestor table p a then 1 else 0)
+  in
+  let r_minimal =
+    bench_validate_workload "minimal/is-minimal-sweep" vrps_arr (fun v ->
+        if Mlcore.Minimal.is_minimal_vrp table v then 1 else 0)
+  in
+  let results = [ r_validate; r_ancestor; r_minimal ] in
+  write_validate_json validate_json_path results;
+  Printf.printf "  wrote %s\n" validate_json_path;
+  if List.exists (fun r -> List.exists (fun run -> not run.v_agrees) r.v_runs) results
+  then begin
+    prerr_endline "BENCH FAILURE: parallel validation results diverged from sequential";
+    exit 1
+  end
+
 (* --- ablation: Strict vs Paper merge rule --- *)
 
 let ablation snap =
@@ -384,6 +513,7 @@ let () =
   section "figure3" figure3;
   section "attack" attack_eval;
   section "compress" (fun () -> section72 (Lazy.force snap));
+  section "validate" (fun () -> section_validate (Lazy.force snap));
   section "ablation" (fun () -> ablation (Lazy.force snap));
   section "micro" (fun () -> micro_benchmarks (Lazy.force snap));
   banner "Done"

@@ -79,8 +79,7 @@ let eliminate_group ((asn, afi), group) =
     (fun (v : Vrp.t) ->
       incr n_in;
       let dominated =
-        Ptrie.covering kept v.Vrp.prefix
-        |> List.exists (fun (_, m) -> m >= v.Vrp.max_len)
+        Ptrie.exists_covering kept v.Vrp.prefix (fun _ m -> m >= v.Vrp.max_len)
       in
       if not dominated then begin
         Ptrie.update kept v.Vrp.prefix (function
@@ -101,128 +100,144 @@ let eliminate_covered ?domains vrps =
 
 (* --- the compression trie (Algorithm 1) --- *)
 
+(* Path-compressed like [Ptrie]: each node stores its full prefix, and
+   children branch on the first bit past it. Only stored tuples and
+   genuine branch points materialise as nodes, so building and walking
+   the per-group trie no longer pays for the 32/128 single-child chain
+   nodes of the former bit-per-node layout.
+
+   [value] is the tuple's maxLength, or -1 when no tuple lives here
+   (branch nodes, and nodes absorbed by a merge). The output is
+   bit-identical to the bit-per-node trie's: merges only ever fire at
+   stored nodes, those all exist here with the same post-order, and
+   both the Strict immediate-children test and Paper's direct_child
+   search are reproduced exactly (see the notes at each). *)
+
 type node = {
-  mutable value : int option; (* Some maxLength when a tuple lives here *)
+  prefix : Pfx.t;
+  mutable value : int; (* maxLength, or -1 when no tuple lives here *)
   mutable left : node option;
   mutable right : node option;
 }
 
-let new_node () = { value = None; left = None; right = None }
+let zero_prefix = function
+  | Pfx.Afi_v4 -> Pfx.of_string_exn "0.0.0.0/0"
+  | Pfx.Afi_v6 -> Pfx.of_string_exn "::/0"
+
+let new_root afi = { prefix = zero_prefix afi; value = -1; left = None; right = None }
+let node_leaf p v = { prefix = p; value = v; left = None; right = None }
+let set_child n right c = if right then n.right <- Some c else n.left <- Some c
 
 let insert root p max_len =
-  let len = Pfx.length p in
-  let rec go n i =
-    if i = len then n.value <- Some (match n.value with Some m -> max m max_len | None -> max_len)
+  let pl = Pfx.length p in
+  let rec go n =
+    let nl = Pfx.length n.prefix in
+    if nl = pl then n.value <- max n.value max_len (* duplicates keep the larger maxLength *)
     else begin
-      let child =
-        if Pfx.bit p i then (
-          match n.right with
-          | Some c -> c
-          | None ->
-            let c = new_node () in
-            n.right <- Some c;
-            c)
-        else
-          match n.left with
-          | Some c -> c
-          | None ->
-            let c = new_node () in
-            n.left <- Some c;
-            c
-      in
-      go child (i + 1)
+      let dir = Pfx.bit p nl in
+      match (if dir then n.right else n.left) with
+      | None -> set_child n dir (node_leaf p max_len)
+      | Some c ->
+        let k = Pfx.common_length p c.prefix in
+        if k = Pfx.length c.prefix then go c
+        else if k = pl then begin
+          (* p lies on the edge above c *)
+          let m = node_leaf p max_len in
+          set_child m (Pfx.bit c.prefix pl) c;
+          set_child n dir m
+        end
+        else begin
+          (* p and c.prefix diverge at bit k *)
+          let fork = { prefix = Pfx.truncate p k; value = -1; left = None; right = None } in
+          set_child fork (Pfx.bit p k) (node_leaf p max_len);
+          set_child fork (Pfx.bit c.prefix k) c;
+          set_child n dir fork
+        end
     end
   in
-  go root 0
+  go root
 
-(* Nearest stored descendant strictly below [n] on one side (Paper
-   mode's "direct child"): minimal depth; leftmost on a tie. FIFO
-   order visits each level left-to-right before the next, so the
-   first stored node dequeued is exactly the minimal-depth / leftmost
-   answer — in O(nodes) instead of the quadratic rebuild a
-   concat_map-per-level frontier costs on dense tries. *)
+(* Nearest stored descendant on one side (Paper mode's "direct
+   child"): minimal prefix length; leftmost (smallest address) on a
+   tie. The bit-per-node version answered this with a left-to-right
+   BFS; here an in-order scan pruned at [best]'s length gives the same
+   node: in-order visits equal-length prefixes in address order, and a
+   subtree whose root is already at least as long as the incumbent
+   cannot hold a strictly shorter stored prefix. *)
 let direct_child = function
   | None -> None
   | Some c ->
-    if c.value <> None then Some c
-    else begin
-      let q = Queue.create () in
-      Queue.add c q;
-      let rec go () =
-        match Queue.take_opt q with
-        | None -> None
-        | Some n ->
-          if n.value <> None then Some n
-          else begin
-            (match n.left with Some x -> Queue.add x q | None -> ());
-            (match n.right with Some x -> Queue.add x q | None -> ());
-            go ()
-          end
-      in
-      go ()
-    end
+    let rec scan n best =
+      match best with
+      | Some b when Pfx.length b.prefix <= Pfx.length n.prefix -> best
+      | _ ->
+        if n.value >= 0 then Some n (* children are strictly longer: prune *)
+        else begin
+          let best = match n.left with Some l -> scan l best | None -> best in
+          match n.right with Some r -> scan r best | None -> best
+        end
+    in
+    scan c None
 
 type merge_counters = { mutable merges : int; mutable absorbed : int }
 
-(* Algorithm 1's compress(), applied on DFS backtrack. *)
+(* Algorithm 1's compress(), applied on DFS backtrack. With path
+   compression the bit-trie's immediate child P|0 (resp. P|1) is
+   stored iff our child on that side is exactly one bit longer and
+   carries a value: a node for P|b, being the shortest possible
+   prefix in that side's subtree, is always the subtree's root. *)
 let merge_at counters mode n =
-  match n.value with
-  | None -> ()
-  | Some parent_value ->
+  if n.value >= 0 then begin
+    let parent_value = n.value in
+    let nl = Pfx.length n.prefix in
     let children =
       match mode with
       | Strict ->
         (match n.left, n.right with
-         | Some l, Some r when l.value <> None && r.value <> None -> Some (l, r)
+         | Some l, Some r
+           when l.value >= 0 && Pfx.length l.prefix = nl + 1
+                && r.value >= 0 && Pfx.length r.prefix = nl + 1 ->
+           Some (l, r)
          | _ -> None)
       | Paper ->
         (match direct_child n.left, direct_child n.right with
          | Some l, Some r -> Some (l, r)
          | _ -> None)
     in
-    (match children with
-     | None -> ()
-     | Some (l, r) ->
-       let lv = Option.get l.value and rv = Option.get r.value in
-       let min_child = min lv rv in
-       if min_child > parent_value then begin
-         counters.merges <- counters.merges + 1;
-         n.value <- Some min_child;
-         if lv <= min_child then begin
-           l.value <- None;
-           counters.absorbed <- counters.absorbed + 1
-         end;
-         if rv <= min_child then begin
-           r.value <- None;
-           counters.absorbed <- counters.absorbed + 1
-         end
-       end)
+    match children with
+    | None -> ()
+    | Some (l, r) ->
+      let lv = l.value and rv = r.value in
+      let min_child = min lv rv in
+      if min_child > parent_value then begin
+        counters.merges <- counters.merges + 1;
+        n.value <- min_child;
+        if lv <= min_child then begin
+          l.value <- -1;
+          counters.absorbed <- counters.absorbed + 1
+        end;
+        if rv <= min_child then begin
+          r.value <- -1;
+          counters.absorbed <- counters.absorbed + 1
+        end
+      end
+  end
 
 let rec dfs counters mode n =
   (match n.left with Some c -> dfs counters mode c | None -> ());
   (match n.right with Some c -> dfs counters mode c | None -> ());
   merge_at counters mode n
 
-(* Rebuild the prefix of each surviving node by walking with path
-   reconstruction. *)
-let collect afi asn root =
-  let zero_prefix =
-    match afi with
-    | Pfx.Afi_v4 -> Pfx.of_string_exn "0.0.0.0/0"
-    | Pfx.Afi_v6 -> Pfx.of_string_exn "::/0"
-  in
+(* Every node carries its full prefix, so collection is a plain walk —
+   no path reconstruction. (Callers sort the result; order is free.) *)
+let collect asn root =
   let out = ref [] in
-  let rec go n p =
-    (match n.value with
-     | Some m -> out := Vrp.make_exn p ~max_len:m asn :: !out
-     | None -> ());
-    match Pfx.split p with
-    | None -> ()
-    | Some (pl, pr) ->
-      (match n.left with Some c -> go c pl | None -> ());
-      (match n.right with Some c -> go c pr | None -> ())
+  let rec go n =
+    if n.value >= 0 then out := Vrp.make_exn n.prefix ~max_len:n.value asn :: !out;
+    (match n.left with Some c -> go c | None -> ());
+    match n.right with Some c -> go c | None -> ()
   in
-  go root zero_prefix;
+  go root;
   !out
 
 type stats = {
@@ -248,10 +263,10 @@ let compress_group ~mode ~eliminate (((asn, afi), group) as keyed) =
     if eliminate then eliminate_group keyed else (group, 0)
   in
   let counters = { merges = 0; absorbed = 0 } in
-  let root = new_node () in
+  let root = new_root afi in
   List.iter (fun (v : Vrp.t) -> insert root v.Vrp.prefix v.Vrp.max_len) group;
   dfs counters mode root;
-  { vrps = collect afi asn root;
+  { vrps = collect asn root;
     eliminated;
     g_merges = counters.merges;
     g_absorbed = counters.absorbed }

@@ -51,22 +51,26 @@ let origins t p =
   | Some s -> Asnum.Set.elements !s
 
 let announced_under t p a =
-  Ptrie.covered_by (trie_for t p) p
-  |> List.filter_map (fun (q, s) ->
-         if Asnum.Set.mem a !s then Some (q, Pfx.length q) else None)
+  List.rev
+    (Ptrie.fold_covered_by (trie_for t p) p ~init:[] ~f:(fun acc q s ->
+         if Asnum.Set.mem a !s then (q, Pfx.length q) :: acc else acc))
 
+(* Counts accumulate straight into the result array during the subtree
+   walk — no intermediate (prefix, length) list. *)
 let count_by_length_under t p a ~max_len =
   let base = Pfx.length p in
   if max_len < base then invalid_arg "Bgp_table.count_by_length_under: max_len below prefix";
   let counts = Array.make (max_len - base + 1) 0 in
-  List.iter
-    (fun (_, len) -> if len <= max_len then counts.(len - base) <- counts.(len - base) + 1)
-    (announced_under t p a);
+  Ptrie.iter_covered_by (trie_for t p) p (fun q s ->
+      let len = Pfx.length q in
+      if len <= max_len && Asnum.Set.mem a !s then
+        counts.(len - base) <- counts.(len - base) + 1);
   counts
 
 let has_same_origin_ancestor t p a =
-  Ptrie.covering (trie_for t p) p
-  |> List.exists (fun (q, s) -> Pfx.length q < Pfx.length p && Asnum.Set.mem a !s)
+  let len = Pfx.length p in
+  Ptrie.exists_covering (trie_for t p) p (fun q s ->
+      Pfx.length q < len && Asnum.Set.mem a !s)
 
 let root_pair_count t =
   fold t ~init:0 ~f:(fun acc p a -> if has_same_origin_ancestor t p a then acc else acc + 1)

@@ -62,6 +62,20 @@ let set_bit a i v =
 
 let succ a = (a + 1) land max_addr
 
+(* Leading zeros of a 32-bit value (32 when zero). The local refs are
+   compiled to mutable stack slots, so this allocates nothing. *)
+let clz32 x =
+  if x = 0 then 32
+  else begin
+    let n = ref 0 and x = ref x in
+    if !x land 0xffff0000 = 0 then begin n := !n + 16; x := !x lsl 16 end;
+    if !x land 0xff000000 = 0 then begin n := !n + 8; x := !x lsl 8 end;
+    if !x land 0xf0000000 = 0 then begin n := !n + 4; x := !x lsl 4 end;
+    if !x land 0xc0000000 = 0 then begin n := !n + 2; x := !x lsl 2 end;
+    if !x land 0x80000000 = 0 then incr n;
+    !n
+  end
+
 module Prefix = struct
   type addr = t
 
@@ -117,6 +131,19 @@ module Prefix = struct
 
   let strict_subset sub sup = length sub > length sup && subset sub sup
   let bit p i = bit (network p) i
+
+  let truncate p l =
+    if l < 0 || l > length p then invalid_arg "Ipv4.Prefix.truncate: bad length";
+    make (network p) l
+
+  let common_length p q =
+    let lp = length p and lq = length q in
+    let m = if lp < lq then lp else lq in
+    let x = network p lxor network q in
+    if x = 0 then m
+    else
+      let d = clz32 x in
+      if d < m then d else m
 
   let split p =
     let l = length p in

@@ -91,6 +91,17 @@ module Prefix : sig
   (** [bit p i] is bit [i] of the network address; only bits
       [0, length p - 1] are meaningful. *)
 
+  val truncate : t -> int -> t
+  (** [truncate p l] is the length-[l] prefix of [p]'s network address —
+      the covering prefix [l] bits long.
+      @raise Invalid_argument unless [0 <= l <= length p]. *)
+
+  val common_length : t -> t -> int
+  (** [common_length p q] is the length of the longest common prefix of
+      [p] and [q]: the number of leading network bits they agree on,
+      capped at [min (length p) (length q)]. Allocation-free; this is
+      the branch-point primitive of the path-compressed trie. *)
+
   val split : t -> (t * t) option
   (** [split p] is the two half-length-[+1] children of [p], or [None]
       when [p] is a host route (/32). *)

@@ -174,6 +174,25 @@ let mask l =
     { hi = (if l = 64 then -1L else Int64.shift_left (-1L) (64 - l)); lo = 0L }
   else { hi = -1L; lo = (if l = 128 then -1L else Int64.shift_left (-1L) (128 - l)) }
 
+(* Leading zeros of the 64-bit value, via the two 32-bit halves so the
+   scan itself runs on immediate ints. *)
+let clz64 x =
+  let clz32 x =
+    if x = 0 then 32
+    else begin
+      let n = ref 0 and x = ref x in
+      if !x land 0xffff0000 = 0 then begin n := !n + 16; x := !x lsl 16 end;
+      if !x land 0xff000000 = 0 then begin n := !n + 8; x := !x lsl 8 end;
+      if !x land 0xf0000000 = 0 then begin n := !n + 4; x := !x lsl 4 end;
+      if !x land 0xc0000000 = 0 then begin n := !n + 2; x := !x lsl 2 end;
+      if !x land 0x80000000 = 0 then incr n;
+      !n
+    end
+  in
+  let hi = Int64.to_int (Int64.shift_right_logical x 32) in
+  if hi <> 0 then clz32 hi
+  else 32 + clz32 (Int64.to_int (Int64.logand x 0xffffffffL))
+
 let logand a b = { hi = Int64.logand a.hi b.hi; lo = Int64.logand a.lo b.lo }
 let logor a b = { hi = Int64.logor a.hi b.hi; lo = Int64.logor a.lo b.lo }
 let lognot a = { hi = Int64.lognot a.hi; lo = Int64.lognot a.lo }
@@ -234,6 +253,22 @@ module Prefix = struct
 
   let strict_subset sub sup = sub.len > sup.len && subset sub sup
   let bit p i = bit p.net i
+
+  let truncate p l =
+    if l < 0 || l > p.len then invalid_arg "Ipv6.Prefix.truncate: bad length";
+    make p.net l
+
+  let common_length p q =
+    let m = if p.len < q.len then p.len else q.len in
+    let d =
+      let xh = Int64.logxor p.net.hi q.net.hi in
+      if Int64.equal xh 0L then begin
+        let xl = Int64.logxor p.net.lo q.net.lo in
+        if Int64.equal xl 0L then bits else 64 + clz64 xl
+      end
+      else clz64 xh
+    in
+    if d < m then d else m
 
   let split p =
     if p.len >= bits then None

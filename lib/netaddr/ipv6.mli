@@ -64,6 +64,15 @@ module Prefix : sig
   val subset : t -> t -> bool
   val strict_subset : t -> t -> bool
   val bit : t -> int -> bool
+
+  val truncate : t -> int -> t
+  (** [truncate p l] is the length-[l] covering prefix of [p].
+      @raise Invalid_argument unless [0 <= l <= length p]. *)
+
+  val common_length : t -> t -> int
+  (** Length of the longest common prefix of [p] and [q], capped at
+      [min (length p) (length q)]. See {!Ipv4.Prefix.common_length}. *)
+
   val split : t -> (t * t) option
   val parent : t -> t option
   val sibling : t -> t option

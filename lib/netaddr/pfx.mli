@@ -46,6 +46,16 @@ val strict_subset : t -> t -> bool
 val bit : t -> int -> bool
 (** [bit p i] for [0 <= i < length p]. *)
 
+val common_length : t -> t -> int
+(** Length of the longest common prefix of the two arguments, capped at
+    the shorter of their lengths. Allocation-free: the branch-point
+    primitive of the path-compressed trie.
+    @raise Invalid_argument when the families differ. *)
+
+val truncate : t -> int -> t
+(** [truncate p l] is the length-[l] covering prefix of [p].
+    @raise Invalid_argument unless [0 <= l <= length p]. *)
+
 val split : t -> (t * t) option
 (** Both one-bit-longer children, or [None] at the host-route limit. *)
 

@@ -1,5 +1,27 @@
 module Pfx = Netaddr.Pfx
 
+(* Path-compressed (Patricia/radix) binary trie.
+
+   Every node carries its full prefix; children strictly extend the
+   parent's prefix and are indexed by the first bit past it (bit
+   [length parent.prefix] of the child's prefix). Long single-child
+   spines therefore collapse into one edge, and traversal depth is
+   bounded by the number of distinct stored prefixes along the lookup
+   path instead of the 32/128 address bits a bit-per-node trie walks.
+
+   Structural invariants, restored by every mutating call:
+   - the root is a permanent /0 sentinel (so traversals never
+     special-case the empty trie);
+   - every non-root leaf holds a value;
+   - every non-root valueless node has two children (fork nodes are
+     created only at branch points; removal contracts pass-throughs).
+   Consequently every non-empty subtree below the root contains at
+   least one value.
+
+   Lookup traversals allocate nothing: they walk child pointers,
+   compare packed prefixes and invoke the caller's closure in place —
+   no intermediate lists, options or pairs. *)
+
 type 'a node = {
   prefix : Pfx.t;
   mutable value : 'a option;
@@ -23,132 +45,251 @@ let is_empty t = t.count = 0
 let check_family t p =
   if Pfx.afi p <> t.family then invalid_arg "Ptrie: address family mismatch"
 
-(* Child of [n] in the direction of bit [i] of [p]; [create] makes it. *)
-let step ~create n p i =
-  let right = Pfx.bit p i in
-  let get, set =
-    if right then (fun () -> n.right), fun c -> n.right <- Some c
-    else (fun () -> n.left), fun c -> n.left <- Some c
-  in
-  match get () with
-  | Some c -> Some c
-  | None ->
-    if not create then None
-    else
-      match Pfx.split n.prefix with
-      | None -> None
-      | Some (l, r) ->
-        let c = { prefix = (if right then r else l); value = None; left = None; right = None } in
-        set c;
-        Some c
+let set_child n right c = if right then n.right <- Some c else n.left <- Some c
 
-let locate ~create t p =
-  check_family t p;
-  let len = Pfx.length p in
-  let rec go n i =
-    if i = len then Some n
-    else
-      match step ~create n p i with
-      | Some c -> go c (i + 1)
-      | None -> None
-  in
-  go t.root 0
+(* --- insertion --- *)
+
+let leaf p v = { prefix = p; value = Some v; left = None; right = None }
 
 let add t p v =
-  match locate ~create:true t p with
-  | Some n ->
-    if n.value = None then t.count <- t.count + 1;
-    n.value <- Some v
-  | None -> assert false
+  check_family t p;
+  let pl = Pfx.length p in
+  let rec go n =
+    (* invariant: n.prefix covers p *)
+    let nl = Pfx.length n.prefix in
+    if nl = pl then begin
+      if n.value = None then t.count <- t.count + 1;
+      n.value <- Some v
+    end
+    else begin
+      let dir = Pfx.bit p nl in
+      match (if dir then n.right else n.left) with
+      | None ->
+        set_child n dir (leaf p v);
+        t.count <- t.count + 1
+      | Some c ->
+        let k = Pfx.common_length p c.prefix in
+        if k = Pfx.length c.prefix then go c (* c.prefix covers p *)
+        else if k = pl then begin
+          (* p sits on the edge above c: splice a valued node in *)
+          let m = leaf p v in
+          set_child m (Pfx.bit c.prefix pl) c;
+          set_child n dir m;
+          t.count <- t.count + 1
+        end
+        else begin
+          (* p and c.prefix diverge at bit k: fork with a branch node *)
+          let fork = { prefix = Pfx.truncate p k; value = None; left = None; right = None } in
+          set_child fork (Pfx.bit p k) (leaf p v);
+          set_child fork (Pfx.bit c.prefix k) c;
+          set_child n dir fork;
+          t.count <- t.count + 1
+        end
+    end
+  in
+  go t.root
 
+(* --- single-descent update (insert, rebind or remove-and-contract) --- *)
+
+let update t p f =
+  check_family t p;
+  let pl = Pfx.length p in
+  let rec go n =
+    let nl = Pfx.length n.prefix in
+    if nl = pl then begin
+      (* n.prefix = p: we only descend through covering nodes *)
+      match f n.value, n.value with
+      | Some v, None ->
+        n.value <- Some v;
+        t.count <- t.count + 1
+      | Some v, Some _ -> n.value <- Some v
+      | None, Some _ ->
+        n.value <- None;
+        t.count <- t.count - 1
+      | None, None -> ()
+    end
+    else begin
+      let dir = Pfx.bit p nl in
+      match (if dir then n.right else n.left) with
+      | None ->
+        (match f None with
+         | None -> ()
+         | Some v ->
+           set_child n dir (leaf p v);
+           t.count <- t.count + 1)
+      | Some c ->
+        let k = Pfx.common_length p c.prefix in
+        if k = Pfx.length c.prefix then begin
+          go c;
+          (* contract c if the update left it carrying no information *)
+          if c.value = None then
+            match c.left, c.right with
+            | None, None -> if dir then n.right <- None else n.left <- None
+            | Some only, None | None, Some only ->
+              if dir then n.right <- Some only else n.left <- Some only
+            | Some _, Some _ -> ()
+        end
+        else
+          (match f None with
+           | None -> ()
+           | Some v ->
+             if k = pl then begin
+               let m = leaf p v in
+               set_child m (Pfx.bit c.prefix pl) c;
+               set_child n dir m
+             end
+             else begin
+               let fork = { prefix = Pfx.truncate p k; value = None; left = None; right = None } in
+               set_child fork (Pfx.bit p k) (leaf p v);
+               set_child fork (Pfx.bit c.prefix k) c;
+               set_child n dir fork
+             end;
+             t.count <- t.count + 1)
+    end
+  in
+  go t.root
+
+(* [fun _ -> None] is a constant closure, so removal shares the
+   single-descent unbind-and-contract path without allocating. *)
+let remove t p = update t p (fun _ -> None)
+
+(* --- exact lookups --- *)
+
+(* Descend by the key's bits without verifying prefixes on the way
+   down: if [p] is stored the path ends exactly at its node, and the
+   final equality check rejects every other outcome. *)
 let find t p =
-  match locate ~create:false t p with
-  | Some n -> n.value
-  | None -> None
+  check_family t p;
+  let pl = Pfx.length p in
+  let rec go n =
+    let nl = Pfx.length n.prefix in
+    if nl >= pl then if nl = pl && Pfx.equal n.prefix p then n.value else None
+    else
+      match (if Pfx.bit p nl then n.right else n.left) with
+      | None -> None
+      | Some c -> go c
+  in
+  go t.root
 
 let mem t p = find t p <> None
 
-let update t p f =
-  match f (find t p) with
-  | Some v -> add t p v
-  | None ->
-    (match locate ~create:false t p with
-     | Some n when n.value <> None ->
-       n.value <- None;
-       t.count <- t.count - 1
-     | Some _ | None -> ())
+(* --- covering traversals (ancestors of [p]) --- *)
 
-(* Removal unbinds the node, then prunes the spine of childless,
-   valueless nodes so long-lived tries don't leak interior paths. *)
-let remove t p =
+(* A node on the bit-directed path either covers [p] — consume it and
+   keep descending — or has diverged, in which case everything below
+   it has too and the walk stops. *)
+
+let iter_covering t p f =
   check_family t p;
-  let len = Pfx.length p in
-  let rec go n i =
-    if i = len then begin
-      if n.value <> None then begin
-        n.value <- None;
-        t.count <- t.count - 1
-      end
+  let pl = Pfx.length p in
+  let rec go n =
+    if Pfx.subset p n.prefix then begin
+      (match n.value with Some v -> f n.prefix v | None -> ());
+      let nl = Pfx.length n.prefix in
+      if nl < pl then
+        match (if Pfx.bit p nl then n.right else n.left) with
+        | Some c -> go c
+        | None -> ()
     end
-    else
-      match step ~create:false n p i with
-      | None -> ()
-      | Some c ->
-        go c (i + 1);
-        if c.value = None && c.left = None && c.right = None then
-          if Pfx.bit p i then n.right <- None else n.left <- None
   in
-  go t.root 0
+  go t.root
+
+let exists_covering t p f =
+  check_family t p;
+  let pl = Pfx.length p in
+  let rec go n =
+    Pfx.subset p n.prefix
+    && ((match n.value with Some v -> f n.prefix v | None -> false)
+        ||
+        let nl = Pfx.length n.prefix in
+        nl < pl
+        && (match (if Pfx.bit p nl then n.right else n.left) with
+            | Some c -> go c
+            | None -> false))
+  in
+  go t.root
+
+let covering t p =
+  let acc = ref [] in
+  iter_covering t p (fun q v -> acc := (q, v) :: !acc);
+  List.rev !acc
 
 let longest_match t p =
   check_family t p;
-  let len = Pfx.length p in
-  let rec go n i best =
-    let best = match n.value with Some v -> Some (n.prefix, v) | None -> best in
-    if i = len then best
-    else
-      match step ~create:false n p i with
-      | Some c -> go c (i + 1) best
-      | None -> best
+  let pl = Pfx.length p in
+  let rec go n best =
+    if not (Pfx.subset p n.prefix) then best
+    else begin
+      let best = if n.value = None then best else Some n in
+      let nl = Pfx.length n.prefix in
+      if nl >= pl then best
+      else
+        match (if Pfx.bit p nl then n.right else n.left) with
+        | Some c -> go c best
+        | None -> best
+    end
   in
-  go t.root 0 None
+  match go t.root None with
+  | Some ({ value = Some v; _ } as n) -> Some (n.prefix, v)
+  | Some { value = None; _ } | None -> None
 
-let covering t p =
-  check_family t p;
-  let len = Pfx.length p in
-  let rec go n i acc =
-    let acc = match n.value with Some v -> (n.prefix, v) :: acc | None -> acc in
-    if i = len then List.rev acc
-    else
-      match step ~create:false n p i with
-      | Some c -> go c (i + 1) acc
-      | None -> List.rev acc
-  in
-  go t.root 0 []
+(* --- covered-by traversals (the subtree under [p]) --- *)
 
+(* In-order enumeration: a node's prefix sorts (address, then length)
+   before everything in its subtree, and the whole left subtree before
+   the right one. *)
 let rec fold_node n ~init ~f =
   let init = match n.value with Some v -> f init n.prefix v | None -> init in
   let init = match n.left with Some c -> fold_node c ~init ~f | None -> init in
   match n.right with Some c -> fold_node c ~init ~f | None -> init
 
+let rec iter_node n f =
+  (match n.value with Some v -> f n.prefix v | None -> ());
+  (match n.left with Some c -> iter_node c f | None -> ());
+  match n.right with Some c -> iter_node c f | None -> ()
+
+(* Topmost node whose subtree is exactly the stored prefixes covered by
+   [p] (with path compression its prefix may be strictly longer than
+   [p]). As in [find], divergence surfaces in the final subset check. *)
+let subtree_root t p =
+  check_family t p;
+  let pl = Pfx.length p in
+  let rec go n =
+    let nl = Pfx.length n.prefix in
+    if nl >= pl then if Pfx.subset n.prefix p then Some n else None
+    else
+      match (if Pfx.bit p nl then n.right else n.left) with
+      | None -> None
+      | Some c -> go c
+  in
+  go t.root
+
+let iter_covered_by t p f =
+  match subtree_root t p with
+  | None -> ()
+  | Some n -> iter_node n f
+
+let fold_covered_by t p ~init ~f =
+  match subtree_root t p with
+  | None -> init
+  | Some n -> fold_node n ~init ~f
+
 let covered_by t p =
-  match locate ~create:false t p with
-  | None -> []
-  | Some n -> List.rev (fold_node n ~init:[] ~f:(fun acc q v -> (q, v) :: acc))
+  List.rev (fold_covered_by t p ~init:[] ~f:(fun acc q v -> (q, v) :: acc))
 
 let has_descendant t p =
-  match locate ~create:false t p with
+  match subtree_root t p with
   | None -> false
   | Some n ->
-    let rec any strict m =
-      (strict && m.value <> None)
-      || (match m.left with Some c -> any true c | None -> false)
-      || (match m.right with Some c -> any true c | None -> false)
-    in
-    any false n
+    (* A subtree rooted strictly below [p] always contains a value
+       (every non-root leaf holds one); at [p] itself any child
+       subtree does. *)
+    Pfx.length n.prefix > Pfx.length p || n.left <> None || n.right <> None
+
+(* --- whole-trie traversals --- *)
 
 let fold t ~init ~f = fold_node t.root ~init ~f
-let iter t f = fold t ~init:() ~f:(fun () p v -> f p v)
+let iter t f = iter_node t.root f
 let to_list t = List.rev (fold t ~init:[] ~f:(fun acc p v -> (p, v) :: acc))
 
 let of_list family l =

@@ -1,15 +1,19 @@
-(** Binary prefix trie keyed by {!Netaddr.Pfx.t}.
+(** Path-compressed (Patricia) binary prefix trie keyed by
+    {!Netaddr.Pfx.t}.
 
-    One trie holds prefixes of a single address family: the root is the
-    /0 prefix and each node's two children are its one-bit-longer
-    subprefixes. Nodes are materialised only along paths to stored
-    prefixes, so space is proportional to the total key length of the
-    stored set.
+    One trie holds prefixes of a single address family. Each node
+    stores its full prefix and branches at the first bit where its
+    subtrees differ, so sparse real-world tables (VRP sets, BGP
+    tables) collapse long single-child spines into one edge: lookup
+    depth is O(stored prefixes on the path), not O(address bits).
 
     The trie supports the three lookups the RPKI data path needs:
     exact match (route to VRP), longest-prefix match (forwarding), and
     covering-set enumeration (RFC 6811 origin validation: all stored
-    prefixes that cover a route). *)
+    prefixes that cover a route). The [iter_]/[exists_]/[fold_]
+    traversal variants visit matches in place without materialising
+    intermediate lists — the hot validation paths allocate nothing per
+    query. *)
 
 type 'a t
 
@@ -28,11 +32,13 @@ val add : 'a t -> Netaddr.Pfx.t -> 'a -> unit
     @raise Invalid_argument when [p]'s family differs from [afi t]. *)
 
 val update : 'a t -> Netaddr.Pfx.t -> ('a option -> 'a option) -> unit
-(** [update t p f] rebinds [p] according to [f (find t p)]; [f] returning
-    [None] removes the binding. *)
+(** [update t p f] rebinds [p] according to [f (find t p)]; [f]
+    returning [None] removes the binding. Single descent: the target
+    node is located once, not once to read and again to write. *)
 
 val remove : 'a t -> Netaddr.Pfx.t -> unit
-(** Remove the binding for [p], pruning now-useless interior nodes. *)
+(** Remove the binding for [p], contracting now-useless interior
+    nodes. *)
 
 val find : 'a t -> Netaddr.Pfx.t -> 'a option
 (** Exact-match lookup. *)
@@ -47,9 +53,28 @@ val covering : 'a t -> Netaddr.Pfx.t -> (Netaddr.Pfx.t * 'a) list
 (** All bound prefixes that cover [p] (including [p] itself when bound),
     ordered from shortest to longest. *)
 
+val iter_covering : 'a t -> Netaddr.Pfx.t -> (Netaddr.Pfx.t -> 'a -> unit) -> unit
+(** [iter_covering t p f] applies [f] to every bound prefix covering
+    [p], shortest first, without building a list. Allocation-free. *)
+
+val exists_covering : 'a t -> Netaddr.Pfx.t -> (Netaddr.Pfx.t -> 'a -> bool) -> bool
+(** [exists_covering t p f] is [true] iff some bound prefix covering
+    [p] satisfies [f]. Short-circuits on the first hit; visits
+    shortest-first. Allocation-free. *)
+
 val covered_by : 'a t -> Netaddr.Pfx.t -> (Netaddr.Pfx.t * 'a) list
 (** All bound prefixes that [p] covers (subtree enumeration, including
     [p] itself when bound), in address-then-length order. *)
+
+val iter_covered_by : 'a t -> Netaddr.Pfx.t -> (Netaddr.Pfx.t -> 'a -> unit) -> unit
+(** [iter_covered_by t p f] applies [f] to every bound prefix covered
+    by [p], in address-then-length order, without building a list.
+    Allocation-free. *)
+
+val fold_covered_by :
+  'a t -> Netaddr.Pfx.t -> init:'b -> f:('b -> Netaddr.Pfx.t -> 'a -> 'b) -> 'b
+(** Fold over the bound prefixes covered by [p], in address-then-length
+    order. The traversal itself allocates nothing. *)
 
 val has_descendant : 'a t -> Netaddr.Pfx.t -> bool
 (** [has_descendant t p] is true when some bound prefix is a strict

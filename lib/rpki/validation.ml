@@ -35,23 +35,29 @@ let create vrps =
 let cardinal db = db.count
 
 let covering_vrps db p =
-  Ptrie.covering (trie_for db p) p
-  |> List.concat_map (fun (q, l) ->
-         List.rev_map (fun (max_len, asn) -> { Vrp.prefix = q; max_len; asn }) l)
+  let acc = ref [] in
+  Ptrie.iter_covering (trie_for db p) p (fun q l ->
+      acc :=
+        List.fold_right
+          (fun (max_len, asn) acc -> { Vrp.prefix = q; max_len; asn } :: acc)
+          l !acc);
+  List.rev !acc
 
+(* One allocation-free descent: the covering walk short-circuits on the
+   first authorizing VRP, and the [found] flag distinguishes Invalid
+   (some cover, none authorizes) from Not_found (no cover at all). *)
 let validate db p origin =
-  let candidates = Ptrie.covering (trie_for db p) p in
-  if candidates = [] then Not_found
-  else if
-    List.exists
-      (fun (_, l) ->
+  let len = Pfx.length p in
+  let found = ref false in
+  let valid =
+    Ptrie.exists_covering (trie_for db p) p (fun _ l ->
+        found := true;
         List.exists
           (fun (max_len, asn) ->
-            (not (Asnum.is_zero asn)) && Asnum.equal asn origin && Pfx.length p <= max_len)
+            (not (Asnum.is_zero asn)) && Asnum.equal asn origin && len <= max_len)
           l)
-      candidates
-  then Valid
-  else Invalid
+  in
+  if valid then Valid else if !found then Invalid else Not_found
 
 let authorized db p origin = validate db p origin = Valid
 

@@ -276,6 +276,155 @@ let prop_differential_reference =
     Testutil.gen_vrp_list (fun vrps ->
       List.equal Vrp.equal (Compress.run ~mode:Compress.Strict vrps) (reference_compress vrps))
 
+(* Second oracle: the original bit-per-node compression trie (one node
+   per address bit, BFS direct_child, path-reconstructing collect),
+   kept verbatim as a reference after the production code moved to a
+   path-compressed layout. The swap must be invisible: outputs stay
+   bit-identical in both modes at every domain count. *)
+module Bit_ref = struct
+  type node = {
+    mutable value : int option;
+    mutable left : node option;
+    mutable right : node option;
+  }
+
+  let new_node () = { value = None; left = None; right = None }
+
+  let insert root q max_len =
+    let len = Pfx.length q in
+    let rec go n i =
+      if i = len then
+        n.value <- Some (match n.value with Some m -> max m max_len | None -> max_len)
+      else begin
+        let child =
+          if Pfx.bit q i then (
+            match n.right with
+            | Some c -> c
+            | None ->
+              let c = new_node () in
+              n.right <- Some c;
+              c)
+          else
+            match n.left with
+            | Some c -> c
+            | None ->
+              let c = new_node () in
+              n.left <- Some c;
+              c
+        in
+        go child (i + 1)
+      end
+    in
+    go root 0
+
+  let direct_child = function
+    | None -> None
+    | Some c ->
+      let q = Queue.create () in
+      Queue.add c q;
+      let rec go () =
+        match Queue.take_opt q with
+        | None -> None
+        | Some n ->
+          if n.value <> None then Some n
+          else begin
+            (match n.left with Some x -> Queue.add x q | None -> ());
+            (match n.right with Some x -> Queue.add x q | None -> ());
+            go ()
+          end
+      in
+      go ()
+
+  let merge_at mode n =
+    match n.value with
+    | None -> ()
+    | Some parent_value ->
+      let children =
+        match mode with
+        | Compress.Strict ->
+          (match n.left, n.right with
+           | Some l, Some r when l.value <> None && r.value <> None -> Some (l, r)
+           | _ -> None)
+        | Compress.Paper ->
+          (match direct_child n.left, direct_child n.right with
+           | Some l, Some r -> Some (l, r)
+           | _ -> None)
+      in
+      (match children with
+       | None -> ()
+       | Some (l, r) ->
+         let lv = Option.get l.value and rv = Option.get r.value in
+         let min_child = min lv rv in
+         if min_child > parent_value then begin
+           n.value <- Some min_child;
+           if lv <= min_child then l.value <- None;
+           if rv <= min_child then r.value <- None
+         end)
+
+  let rec dfs mode n =
+    (match n.left with Some c -> dfs mode c | None -> ());
+    (match n.right with Some c -> dfs mode c | None -> ());
+    merge_at mode n
+
+  let collect afi asn root =
+    let zero =
+      match afi with
+      | Pfx.Afi_v4 -> Pfx.of_string_exn "0.0.0.0/0"
+      | Pfx.Afi_v6 -> Pfx.of_string_exn "::/0"
+    in
+    let out = ref [] in
+    let rec go n q =
+      (match n.value with
+       | Some m -> out := Vrp.make_exn q ~max_len:m asn :: !out
+       | None -> ());
+      match Pfx.split q with
+      | None -> ()
+      | Some (ql, qr) ->
+        (match n.left with Some c -> go c ql | None -> ());
+        (match n.right with Some c -> go c qr | None -> ())
+    in
+    go root zero;
+    !out
+
+  (* Per-(origin, family) trie runs, unioned; [run] sorts its output,
+     so grouping order is immaterial. *)
+  let run ~mode vrps =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (x : Vrp.t) ->
+        let key = (x.Vrp.asn, Pfx.afi x.Vrp.prefix) in
+        Hashtbl.replace tbl key
+          (x :: (match Hashtbl.find_opt tbl key with Some l -> l | None -> [])))
+      (List.sort_uniq Vrp.compare vrps);
+    Hashtbl.fold
+      (fun (asn, afi) group acc ->
+        let root = new_node () in
+        List.iter (fun (x : Vrp.t) -> insert root x.Vrp.prefix x.Vrp.max_len) group;
+        dfs mode root;
+        List.rev_append (collect afi asn root) acc)
+      tbl []
+    |> List.sort_uniq Vrp.compare
+end
+
+let prop_bit_trie_reference =
+  QCheck2.Test.make
+    ~name:"patricia trie equals bit-per-node reference (both modes, 1/2/4 domains)" ~count:150
+    Testutil.gen_vrp_list (fun vrps ->
+      List.for_all
+        (fun mode ->
+          (* with elimination: the standalone pass is itself per-group,
+             so pre-eliminating for the reference matches compress_group *)
+          let ref_elim = Bit_ref.run ~mode (Compress.eliminate_covered ~domains:1 vrps) in
+          let ref_raw = Bit_ref.run ~mode vrps in
+          List.for_all
+            (fun d ->
+              List.equal Vrp.equal (Compress.run ~mode ~domains:d vrps) ref_elim
+              && List.equal Vrp.equal
+                   (Compress.run ~mode ~eliminate:false ~domains:d vrps)
+                   ref_raw)
+            [ 1; 2; 4 ])
+        [ Compress.Strict; Compress.Paper ])
+
 let prop_parallel_bit_identical =
   (* The tentpole guarantee: sharding the pipeline over a domain pool
      changes nothing observable. Output lists, stats, and the
@@ -334,6 +483,7 @@ let () =
             prop_idempotent;
             prop_reaches_bound_on_full_tree;
             prop_differential_reference;
+            prop_bit_trie_reference;
             prop_stats_balance;
             prop_parallel_bit_identical;
             prop_paper_mode_never_shrinks_coverage ] ) ]

@@ -106,6 +106,39 @@ let prop_aggregate_idempotent =
       let once = Pfx.aggregate ps in
       List.equal Pfx.equal once (Pfx.aggregate once))
 
+let prop_aggregate_matches_rescan_reference =
+  (* Differential oracle for the worklist sweep: the original
+     quadratic restart-scan merge (rescan the whole set after every
+     sibling merge until a fixpoint), kept as a reference. The merge
+     relation is confluent, so both must reach the same fixpoint —
+     and the same output order. *)
+  let open QCheck2 in
+  let reference ps =
+    let drop_covered set =
+      List.filter
+        (fun q -> not (List.exists (fun k -> (not (Pfx.equal q k)) && Pfx.subset q k) set))
+        set
+    in
+    let rec merge_pass set =
+      let rec find = function
+        | [] -> None
+        | q :: rest ->
+          (match Pfx.sibling q, Pfx.parent q with
+           | Some sib, Some par when List.exists (Pfx.equal sib) set -> Some (q, sib, par)
+           | _ -> find rest)
+      in
+      match find set with
+      | None -> set
+      | Some (q, sib, par) ->
+        merge_pass
+          (par :: List.filter (fun k -> not (Pfx.equal k q) && not (Pfx.equal k sib)) set)
+    in
+    List.sort Pfx.compare (merge_pass (drop_covered (List.sort_uniq Pfx.compare ps)))
+  in
+  let gen = Gen.list_size (Gen.int_range 0 40) Testutil.gen_clustered_v4_prefix in
+  Test.make ~name:"aggregate equals restart-scan reference" ~count:300 gen (fun ps ->
+      List.equal Pfx.equal (Pfx.aggregate ps) (reference ps))
+
 let prop_parent_sibling_split =
   QCheck2.Test.make ~name:"parent/sibling/split agree" ~count:1000 Testutil.gen_prefix (fun q ->
       match Pfx.parent q with
@@ -145,4 +178,5 @@ let () =
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_parent_sibling_split; prop_hash_consistent; prop_subset_transitive;
-            prop_aggregate_preserves_space; prop_aggregate_idempotent ] ) ]
+            prop_aggregate_preserves_space; prop_aggregate_idempotent;
+            prop_aggregate_matches_rescan_reference ] ) ]

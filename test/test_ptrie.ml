@@ -144,6 +144,141 @@ let prop_covering_naive =
       in
       List.equal Pfx.equal got expected)
 
+(* --- randomized differential suite: trie vs naive model ---
+
+   Drives every mutating operation against a [Pfx.Map]-based model and
+   cross-checks every query — find, longest_match, covering (list,
+   iter, exists), covered_by (list, iter, fold), has_descendant and
+   to_list order — on both address families, with prefixes spanning /0
+   to full length. The op count (2 families x 6_000) is the
+   regression floor for the path-compressed rewrite. *)
+
+(* The trie's traversal order: lexicographic on address bits with a
+   covering prefix before everything it covers. *)
+let bit_order q r =
+  if Pfx.equal q r then 0
+  else
+    let k = Pfx.common_length q r in
+    if k = Pfx.length q then -1
+    else if k = Pfx.length r then 1
+    else if Pfx.bit r k then -1
+    else 1
+
+let random_pfx family rng =
+  match family with
+  | Pfx.Afi_v4 ->
+    let len =
+      match Random.State.int rng 10 with
+      | 0 -> 0
+      | 1 -> 32
+      | _ -> Random.State.int rng 33
+    in
+    let s =
+      Printf.sprintf "%d.%d.%d.%d/32"
+        (10 + Random.State.int rng 2)
+        (Random.State.int rng 4) (Random.State.int rng 4) (Random.State.int rng 256)
+    in
+    Pfx.truncate (Pfx.of_string_exn s) len
+  | Pfx.Afi_v6 ->
+    let len =
+      match Random.State.int rng 10 with
+      | 0 -> 0
+      | 1 -> 128
+      | _ -> Random.State.int rng 129
+    in
+    let s =
+      Printf.sprintf "2001:db8:%x:%x::%x/128" (Random.State.int rng 4) (Random.State.int rng 4)
+        (Random.State.int rng 0x10000)
+    in
+    Pfx.truncate (Pfx.of_string_exn s) len
+
+let check_pair_lists what i expected got =
+  if
+    not
+      (List.equal (fun (q, v) (r, w) -> Pfx.equal q r && v = w) expected got)
+  then
+    Alcotest.failf "%s mismatch at op %d: expected [%s] got [%s]" what i
+      (String.concat "; " (List.map (fun (q, _) -> Pfx.to_string q) expected))
+      (String.concat "; " (List.map (fun (q, _) -> Pfx.to_string q) got))
+
+let check_queries t model probe i =
+  let bindings = Pfx.Map.bindings model in
+  (* covering: shortest first (two covering prefixes of one probe
+     never share a length, so the order is total) *)
+  let exp_cov =
+    List.filter (fun (s, _) -> Pfx.subset probe s) bindings
+    |> List.sort (fun (q, _) (r, _) -> compare (Pfx.length q) (Pfx.length r))
+  in
+  check_pair_lists "covering" i exp_cov (Ptrie.covering t probe);
+  let acc = ref [] in
+  Ptrie.iter_covering t probe (fun q v -> acc := (q, v) :: !acc);
+  check_pair_lists "iter_covering" i exp_cov (List.rev !acc);
+  let pred _ v = v land 1 = 0 in
+  if
+    Ptrie.exists_covering t probe pred
+    <> List.exists (fun (q, v) -> pred q v) exp_cov
+  then Alcotest.failf "exists_covering mismatch at op %d" i;
+  (* longest_match = last covering entry *)
+  let exp_lm = match List.rev exp_cov with [] -> None | x :: _ -> Some x in
+  (match Ptrie.longest_match t probe, exp_lm with
+   | None, None -> ()
+   | Some (q, v), Some (r, w) when Pfx.equal q r && v = w -> ()
+   | _ -> Alcotest.failf "longest_match mismatch at op %d" i);
+  (* covered_by: the trie's in-order *)
+  let exp_cvd =
+    List.filter (fun (s, _) -> Pfx.subset s probe) bindings
+    |> List.sort (fun (q, _) (r, _) -> bit_order q r)
+  in
+  check_pair_lists "covered_by" i exp_cvd (Ptrie.covered_by t probe);
+  let acc = ref [] in
+  Ptrie.iter_covered_by t probe (fun q v -> acc := (q, v) :: !acc);
+  check_pair_lists "iter_covered_by" i exp_cvd (List.rev !acc);
+  check_pair_lists "fold_covered_by" i exp_cvd
+    (List.rev (Ptrie.fold_covered_by t probe ~init:[] ~f:(fun acc q v -> (q, v) :: acc)));
+  let exp_desc =
+    List.exists (fun (s, _) -> Pfx.subset s probe && not (Pfx.equal s probe)) bindings
+  in
+  if Ptrie.has_descendant t probe <> exp_desc then
+    Alcotest.failf "has_descendant mismatch at op %d" i
+
+let run_differential family n_ops seed =
+  let rng = Random.State.make [| seed |] in
+  let t = Ptrie.create family in
+  let model = ref Pfx.Map.empty in
+  for i = 1 to n_ops do
+    let q = random_pfx family rng in
+    (match Random.State.int rng 6 with
+     | 0 | 1 ->
+       Ptrie.add t q i;
+       model := Pfx.Map.add q i !model
+     | 2 ->
+       Ptrie.remove t q;
+       model := Pfx.Map.remove q !model
+     | 3 ->
+       (* insert-or-bump through the single-descent update *)
+       let f = function None -> Some i | Some v -> Some (v + 1) in
+       Ptrie.update t q f;
+       model := Pfx.Map.update q f !model
+     | 4 ->
+       Ptrie.update t q (fun _ -> None);
+       model := Pfx.Map.remove q !model
+     | _ -> Ptrie.update t q (fun v -> v) (* identity rebind *));
+    if Ptrie.cardinal t <> Pfx.Map.cardinal !model then
+      Alcotest.failf "cardinal mismatch at op %d" i;
+    if Ptrie.find t q <> Pfx.Map.find_opt q !model then
+      Alcotest.failf "find mismatch at op %d (%s)" i (Pfx.to_string q);
+    if i mod 17 = 0 then begin
+      let probe = if Random.State.bool rng then q else random_pfx family rng in
+      check_queries t !model probe i
+    end
+  done;
+  check_pair_lists "final to_list" n_ops
+    (Pfx.Map.bindings !model |> List.sort (fun (q, _) (r, _) -> bit_order q r))
+    (Ptrie.to_list t)
+
+let test_differential_v4 () = run_differential Pfx.Afi_v4 6_000 0xbeef
+let test_differential_v6 () = run_differential Pfx.Afi_v6 6_000 0xcafe
+
 let () =
   Alcotest.run "ptrie"
     [ ( "operations",
@@ -155,6 +290,9 @@ let () =
           Alcotest.test_case "covering/covered_by" `Quick test_covering_covered;
           Alcotest.test_case "update" `Quick test_update;
           Alcotest.test_case "traversal order" `Quick test_traversal_order ] );
+      ( "differential",
+        [ Alcotest.test_case "6000-op model check, IPv4" `Quick test_differential_v4;
+          Alcotest.test_case "6000-op model check, IPv6" `Quick test_differential_v6 ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_model; prop_longest_match_naive; prop_covering_naive ] ) ]

@@ -10,7 +10,7 @@
 SMOKE_JSON := BENCH_smoke.json
 VALIDATE_SMOKE_JSON := BENCH_validate_smoke.json
 
-.PHONY: build test bench bench-smoke bench-validate-smoke clean
+.PHONY: build test lint check bench bench-smoke bench-validate-smoke clean
 
 build:
 	dune build
@@ -49,4 +49,17 @@ bench-validate-smoke:
 
 clean:
 	dune clean
-	rm -f BENCH_compress.json BENCH_validate.json $(SMOKE_JSON) $(VALIDATE_SMOKE_JSON)
+	rm -f BENCH_compress.json BENCH_validate.json $(SMOKE_JSON) $(VALIDATE_SMOKE_JSON) $(LINT_JSON)
+
+LINT_JSON := LINT_report.json
+
+lint:
+	@rm -f $(LINT_JSON)
+	dune build bin/lint/lint_main.exe
+	dune exec bin/lint/lint_main.exe -- --format json --out $(LINT_JSON)
+	@echo "lint: OK (report in $(LINT_JSON))"
+
+# The one-stop gate: build everything, run the test suites, lint the
+# tree, and smoke-check the parallel pipelines.
+check: build test lint bench-smoke
+	@echo "check: OK"

@@ -52,7 +52,9 @@ let only_sections =
     Some (String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) ""))
 
 let section_enabled name =
-  match only_sections with None -> true | Some names -> List.mem name names
+  match only_sections with
+  | None -> true
+  | Some names -> List.exists (String.equal name) names
 
 let banner title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -153,7 +155,7 @@ type compress_result = {
 let parallel_domain_counts =
   (* Always probe 2 and 4 (the acceptance axis), plus whatever
      RPKI_DOMAINS asks for. *)
-  List.sort_uniq compare (List.filter (fun d -> d > 1) [ 2; 4; domains ])
+  List.sort_uniq Int.compare (List.filter (fun d -> d > 1) [ 2; 4; domains ])
 
 let bench_compress_dataset (name, vrps) =
   let bytes_before = Gc.allocated_bytes () in

@@ -1,0 +1,94 @@
+(* rpki-maxlen lint — AST-level enforcement of the repo's correctness
+   invariants (DESIGN.md §9).
+
+   Usage: lint [PATHS...] [--rules R1,R3] [--format text|json]
+               [--out FILE] [--baseline FILE] [--root DIR] [--list-rules]
+
+   Exit status: 0 when no error-severity finding survives baseline
+   filtering, 1 otherwise, 2 on usage errors. *)
+
+module Engine = Lintcore.Engine
+module Rules = Lintcore.Rules
+
+let default_paths = [ "lib"; "bin"; "bench"; "test" ]
+
+let usage =
+  "lint [PATHS...] [options]\n\
+   Static analysis for the rpki-maxlen tree. With no PATHS, lints lib/ bin/ bench/ \
+   test/ under --root (default: the current directory).\n\n\
+   Options:"
+
+let () =
+  let paths = ref [] in
+  let rules_arg = ref "" in
+  let format = ref "text" in
+  let out = ref "" in
+  let baseline = ref "" in
+  let root = ref (Sys.getcwd ()) in
+  let list_rules = ref false in
+  let spec =
+    [ ( "--rules",
+        Arg.Set_string rules_arg,
+        "IDS  comma-separated rule ids to run (default: all, e.g. R1,R3)" );
+      ("--format", Arg.Set_string format, "FMT  output format: text (default) or json");
+      ("--out", Arg.Set_string out, "FILE  write the report to FILE instead of stdout");
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "FILE  previous JSON report; findings fingerprinted there are suppressed" );
+      ("--root", Arg.Set_string root, "DIR  tree root paths are resolved against");
+      ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit") ]
+  in
+  (try Arg.parse spec (fun p -> paths := p :: !paths) usage
+   with Arg.Bad msg ->
+     prerr_string msg;
+     exit 2);
+  if !list_rules then begin
+    List.iter
+      (fun (r : Rules.t) ->
+        Printf.printf "%s %-14s [%s]\n    %s\n" r.id r.name
+          (Lintcore.Finding.severity_to_string r.severity)
+          r.doc)
+      Rules.all;
+    exit 0
+  end;
+  let rules =
+    if String.equal !rules_arg "" then Rules.all
+    else begin
+      let ids = String.split_on_char ',' !rules_arg |> List.map String.trim in
+      let known = Rules.ids () in
+      List.iter
+        (fun id ->
+          if not (List.exists (String.equal id) known) then begin
+            Printf.eprintf "lint: unknown rule %S (known: %s)\n" id
+              (String.concat ", " known);
+            exit 2
+          end)
+        ids;
+      Rules.find ids
+    end
+  in
+  let paths = if !paths = [] then default_paths else List.rev !paths in
+  let report = Engine.run ~rules ~root:!root paths in
+  let report =
+    if String.equal !baseline "" then report
+    else if not (Sys.file_exists !baseline) then begin
+      Printf.eprintf "lint: baseline file not found: %s\n" !baseline;
+      exit 2
+    end
+    else Engine.apply_baseline ~baseline:(Engine.load_baseline !baseline) report
+  in
+  let rendered =
+    match !format with
+    | "text" -> Engine.to_text report
+    | "json" -> Engine.to_json report
+    | f ->
+      Printf.eprintf "lint: unknown format %S (expected text or json)\n" f;
+      exit 2
+  in
+  (if String.equal !out "" then print_string rendered
+   else begin
+     let oc = open_out !out in
+     Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+         output_string oc rendered)
+   end);
+  exit (if Engine.has_errors report then 1 else 0)

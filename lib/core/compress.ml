@@ -10,12 +10,15 @@ type mode = Strict | Paper
 module Group_key = struct
   type t = Asnum.t * Pfx.afi
 
-  let equal (a1, f1) (a2, f2) = Asnum.equal a1 a2 && f1 = f2
-  let hash (a, f) = Hashtbl.hash (Asnum.to_int a, f)
+  let equal (a1, f1) (a2, f2) = Asnum.equal a1 a2 && Pfx.afi_equal f1 f2
+
+  (* (asn, afi) packs into one int — 32-bit ASN, 1-bit family — so the
+     hash is the packed value itself, no polymorphic hashing. *)
+  let hash (a, f) = (Asnum.to_int a lsl 1) lor Pfx.afi_to_int f
 
   let compare (a1, f1) (a2, f2) =
     let c = Asnum.compare a1 a2 in
-    if c <> 0 then c else Stdlib.compare f1 f2
+    if c <> 0 then c else Pfx.afi_compare f1 f2
 end
 
 module Group_tbl = Hashtbl.Make (Group_key)

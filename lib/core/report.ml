@@ -53,13 +53,21 @@ let csv_of_series series =
         Buffer.add_string buf (",\"" ^ s.Scenario.name ^ "\""))
       series;
     Buffer.add_char buf '\n';
+    (* Each series' points as an array up front: total (a short series
+       is a bug we want loudly, not a partial List.nth) and linear
+       instead of quadratic in the number of weeks. *)
+    let columns =
+      List.map (fun (s : Scenario.series) -> Array.of_list s.Scenario.points) series
+    in
     List.iteri
       (fun i (week, _) ->
         Buffer.add_string buf week;
         List.iter
-          (fun (s : Scenario.series) ->
-            Buffer.add_string buf ("," ^ string_of_int (snd (List.nth s.Scenario.points i))))
-          series;
+          (fun points ->
+            if i >= Array.length points then
+              invalid_arg "Report.csv_of_series: series have different lengths";
+            Buffer.add_string buf ("," ^ string_of_int (snd points.(i))))
+          columns;
         Buffer.add_char buf '\n')
       first.Scenario.points;
     Buffer.contents buf

@@ -1,0 +1,196 @@
+(* Orchestration: discover files, parse them, run the rule registry,
+   filter against a baseline, render text/JSON. Directory walks skip
+   build products and the deliberately-bad lint fixture corpus (those
+   are linted by tests via an explicit root). *)
+
+let skip_dirs = [ "_build"; ".git"; "lint_fixtures"; "node_modules" ]
+
+let is_source f = Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+(* '/'-joined path relative to [root]; findings and rule scoping
+   ("lib/core/...") key off this form on every platform. *)
+let relativize ~root file =
+  let root = if Filename.check_suffix root "/" then root else root ^ "/" in
+  let rl = String.length root in
+  if String.length file > rl && String.equal (String.sub file 0 rl) root then
+    String.sub file rl (String.length file - rl)
+  else file
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if List.exists (String.equal entry) skip_dirs then acc
+        else walk acc (Filename.concat path entry))
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else if is_source path then path :: acc
+  else acc
+
+let discover ~root paths =
+  let abs p = if Filename.is_relative p then Filename.concat root p else p in
+  let files =
+    List.fold_left
+      (fun acc p ->
+        let p = abs p in
+        if Sys.file_exists p then walk acc p
+        else begin
+          Printf.eprintf "lint: no such file or directory: %s\n" p;
+          acc
+        end)
+      [] paths
+  in
+  List.sort_uniq String.compare (List.map (relativize ~root) files)
+
+type report = {
+  root : string;
+  files_scanned : int;
+  rules_run : string list;
+  findings : Finding.t list;
+}
+
+let parse_structure ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  Parse.implementation lexbuf
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run ?(rules = Rules.all) ~root paths =
+  let rel_files = discover ~root paths in
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  (* Per-file rules parse each .ml once and hand the tree to every
+     applicable checker; a file that does not parse yields a single
+     parse-error finding instead. *)
+  List.iter
+    (fun rel ->
+      if Filename.check_suffix rel ".ml" then begin
+        let file = Filename.concat root rel in
+        match parse_structure ~file:rel (read_file file) with
+        | st ->
+          let ctx = { Rules.path = rel; add } in
+          List.iter
+            (fun (r : Rules.t) ->
+              match r.kind with
+              | Rules.File_rule check -> check ctx st
+              | Rules.Tree_rule _ -> ())
+            rules
+        | exception exn ->
+          let line, col, msg =
+            match Location.error_of_exn exn with
+            | Some (`Ok (e : Location.error)) ->
+              let loc = e.main.loc.loc_start in
+              ( loc.pos_lnum,
+                loc.pos_cnum - loc.pos_bol,
+                Format.asprintf "%t" e.main.txt )
+            | _ -> (1, 0, Printexc.to_string exn)
+          in
+          add
+            (Finding.make ~rule:"parse" ~severity:Finding.Error ~file:rel ~line ~col
+               (Printf.sprintf "could not parse: %s" msg))
+      end)
+    rel_files;
+  List.iter
+    (fun (r : Rules.t) ->
+      match r.kind with
+      | Rules.Tree_rule check -> check { Rules.tree_files = rel_files; tree_add = add }
+      | Rules.File_rule _ -> ())
+    rules;
+  { root;
+    files_scanned = List.length rel_files;
+    rules_run = List.map (fun (r : Rules.t) -> r.id) rules;
+    findings = List.sort Finding.compare !findings }
+
+(* --- baseline -------------------------------------------------------- *)
+
+(* A baseline is a previous JSON report: any finding whose fingerprint
+   appears in it is dropped. The reader is deliberately line-oriented —
+   the emitter prints one finding object per line — so no JSON parser is
+   needed. *)
+let find_substring line marker =
+  let n = String.length line and m = String.length marker in
+  let rec scan i =
+    if i + m > n then None
+    else if String.equal (String.sub line i m) marker then Some (i + m)
+    else scan (i + 1)
+  in
+  scan 0
+
+let load_baseline path =
+  let marker = "\"fingerprint\": \"" in
+  let fingerprints = ref [] in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          match find_substring line marker with
+          | Some start -> (
+            match String.index_from_opt line start '"' with
+            | Some stop ->
+              fingerprints := String.sub line start (stop - start) :: !fingerprints
+            | None -> ())
+          | None -> ()
+        done
+      with End_of_file -> ());
+  !fingerprints
+
+let apply_baseline ~baseline report =
+  let keep f = not (List.exists (String.equal (Finding.fingerprint f)) baseline) in
+  { report with findings = List.filter keep report.findings }
+
+(* --- rendering ------------------------------------------------------- *)
+
+let to_text report =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Finding.to_text f);
+      Buffer.add_char buf '\n')
+    report.findings;
+  let errors, warnings = Finding.count_severity report.findings in
+  Buffer.add_string buf
+    (Printf.sprintf "%d file%s scanned, %d error%s, %d warning%s\n" report.files_scanned
+       (if report.files_scanned = 1 then "" else "s")
+       errors
+       (if errors = 1 then "" else "s")
+       warnings
+       (if warnings = 1 then "" else "s"));
+  Buffer.contents buf
+
+let schema = "rpki-maxlen/lint/v1"
+
+let to_json report =
+  let buf = Buffer.create 4096 in
+  let errors, warnings = Finding.count_severity report.findings in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"schema\": \"%s\",\n" schema);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"root\": \"%s\",\n" (Finding.json_escape report.root));
+  Buffer.add_string buf (Printf.sprintf "  \"files_scanned\": %d,\n" report.files_scanned);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"rules\": [%s],\n"
+       (String.concat ", "
+          (List.map (fun id -> "\"" ^ Finding.json_escape id ^ "\"") report.rules_run)));
+  Buffer.add_string buf (Printf.sprintf "  \"error_count\": %d,\n" errors);
+  Buffer.add_string buf (Printf.sprintf "  \"warning_count\": %d,\n" warnings);
+  Buffer.add_string buf "  \"findings\": [";
+  List.iteri
+    (fun i f ->
+      Buffer.add_string buf (if i = 0 then "\n    " else ",\n    ");
+      Buffer.add_string buf (Finding.to_json f))
+    report.findings;
+  Buffer.add_string buf (if report.findings = [] then "]\n}\n" else "\n  ]\n}\n");
+  Buffer.contents buf
+
+let has_errors report =
+  List.exists (fun (f : Finding.t) -> f.severity = Finding.Error) report.findings

@@ -1,0 +1,36 @@
+(** Lint orchestration: discover sources, parse, run the rule registry,
+    baseline-filter, render. *)
+
+val schema : string
+(** ["rpki-maxlen/lint/v1"] — the JSON report schema tag. *)
+
+val discover : root:string -> string list -> string list
+(** Expand files/directories (relative to [root]) into a sorted list of
+    root-relative [.ml]/[.mli] paths. Directory walks skip [_build],
+    [.git] and [lint_fixtures]. *)
+
+type report = {
+  root : string;
+  files_scanned : int;
+  rules_run : string list;
+  findings : Finding.t list;  (** sorted by file/line/col/rule *)
+}
+
+val run : ?rules:Rules.t list -> root:string -> string list -> report
+(** Lint the given paths. Unparseable [.ml] files yield a single
+    ["parse"]-rule error finding rather than aborting the run. *)
+
+val load_baseline : string -> string list
+(** Fingerprints recorded in a previous JSON report (line-oriented
+    scan; no JSON parser needed since the emitter writes one finding
+    per line). *)
+
+val apply_baseline : baseline:string list -> report -> report
+(** Drop findings whose fingerprint appears in the baseline. *)
+
+val to_text : report -> string
+val to_json : report -> string
+
+val has_errors : report -> bool
+(** True when any error-severity finding remains — the CLI's exit
+    criterion. *)

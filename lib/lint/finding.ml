@@ -1,0 +1,64 @@
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message }
+
+let fingerprint f = Printf.sprintf "%s|%s|%d|%d" f.rule f.file f.line f.col
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_text f =
+  Printf.sprintf "%s:%d:%d: %s [%s] %s" f.file f.line f.col
+    (severity_to_string f.severity)
+    f.rule f.message
+
+(* Minimal JSON string escaping: the subset our messages can contain
+   (quotes, backslashes, control characters). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* One finding per line, so a baseline reader can stay line-oriented. *)
+let to_json f =
+  Printf.sprintf
+    "{\"rule\": \"%s\", \"severity\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": %d, \
+     \"message\": \"%s\", \"fingerprint\": \"%s\"}"
+    (json_escape f.rule)
+    (severity_to_string f.severity)
+    (json_escape f.file) f.line f.col (json_escape f.message)
+    (json_escape (fingerprint f))
+
+let count_severity findings =
+  List.fold_left
+    (fun (e, w) f -> match f.severity with Error -> (e + 1, w) | Warning -> (e, w + 1))
+    (0, 0) findings

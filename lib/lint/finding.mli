@@ -1,0 +1,35 @@
+(** Lint findings: location-tagged rule violations with text and JSON
+    renderings (schema [rpki-maxlen/lint/v1]). *)
+
+type severity = Error | Warning
+
+val severity_to_string : severity -> string
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;  (** path relative to the lint root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as the compiler reports *)
+  message : string;
+}
+
+val make :
+  rule:string -> severity:severity -> file:string -> line:int -> col:int -> string -> t
+
+val fingerprint : t -> string
+(** Stable identity used by [--baseline] filtering: ["rule|file|line|col"]. *)
+
+val compare : t -> t -> int
+(** Order by file, then line, column, rule — the report order. *)
+
+val to_text : t -> string
+(** ["file:line:col: severity [rule] message"]. *)
+
+val to_json : t -> string
+(** A single-line JSON object (keeps the report greppable per finding). *)
+
+val json_escape : string -> string
+
+val count_severity : t list -> int * int
+(** [(errors, warnings)]. *)

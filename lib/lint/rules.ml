@@ -1,0 +1,429 @@
+(* The repo-specific rule catalogue. Every checker is syntactic: it
+   walks the parsetree with [Ast_iterator] — no typing environment — so
+   each rule documents the approximation it makes and offers an
+   attribute escape hatch for the sites the approximation gets wrong.
+   See DESIGN.md §9 for the rationale per rule. *)
+
+open Parsetree
+
+(* --- contexts ------------------------------------------------------ *)
+
+type file_context = {
+  path : string;  (** '/'-separated path relative to the lint root *)
+  add : Finding.t -> unit;
+}
+
+type tree_context = {
+  tree_files : string list;  (** every scanned file, relative paths *)
+  tree_add : Finding.t -> unit;
+}
+
+type kind =
+  | File_rule of (file_context -> structure -> unit)
+  | Tree_rule of (tree_context -> unit)
+
+type t = {
+  id : string;
+  name : string;
+  severity : Finding.severity;
+  doc : string;
+  kind : kind;
+}
+
+(* --- shared helpers ------------------------------------------------ *)
+
+let finding ctx ~rule ~severity (loc : Location.t) msg =
+  let p = loc.loc_start in
+  ctx.add
+    (Finding.make ~rule ~severity ~file:ctx.path ~line:p.pos_lnum
+       ~col:(p.pos_cnum - p.pos_bol) msg)
+
+let flatten_ident (lid : Longident.t) =
+  match Longident.flatten lid with
+  | "Stdlib" :: rest -> rest
+  | l -> l
+  | exception _ -> []
+
+let has_attr name (attrs : attributes) =
+  List.exists (fun (a : attribute) -> String.equal a.attr_name.txt name) attrs
+
+let under_prefix prefix path =
+  let pl = String.length prefix in
+  String.length path >= pl && String.equal (String.sub path 0 pl) prefix
+
+let core_libs = [ "lib/core/"; "lib/rpki/"; "lib/netaddr/"; "lib/ptrie/" ]
+let in_core_libs path = List.exists (fun p -> under_prefix p path) core_libs
+let is_ml path = Filename.check_suffix path ".ml"
+
+(* --- a scope-aware expression walker ------------------------------- *)
+
+(* Builds an [Ast_iterator] that threads a {!Scope.t} through every
+   binding form ([let]/[let rec], function parameters, match cases,
+   [for] indices, module-level [let]s — unwound at the end of each
+   submodule), calling [visit] on each expression before recursing.
+   [visit] returns [false] to prune the subtree (suppression
+   attributes); [visit_binding] likewise gates whole value bindings. *)
+let scoped_iterator ~scope ~visit ?(visit_binding = fun _ -> true) () =
+  let default = Ast_iterator.default_iterator in
+  let iter_cases (it : Ast_iterator.iterator) cases =
+    List.iter
+      (fun (c : case) ->
+        Scope.with_names scope (Scope.pattern_vars c.pc_lhs) (fun () ->
+            Option.iter (it.expr it) c.pc_guard;
+            it.expr it c.pc_rhs))
+      cases
+  in
+  let expr (it : Ast_iterator.iterator) (e : expression) =
+    if visit e then
+      match e.pexp_desc with
+      | Pexp_let (Nonrecursive, vbs, body) ->
+        List.iter (fun vb -> if visit_binding vb then it.expr it vb.pvb_expr) vbs;
+        Scope.with_names scope (Scope.binding_vars vbs) (fun () -> it.expr it body)
+      | Pexp_let (Recursive, vbs, body) ->
+        Scope.with_names scope (Scope.binding_vars vbs) (fun () ->
+            List.iter (fun vb -> if visit_binding vb then it.expr it vb.pvb_expr) vbs;
+            it.expr it body)
+      | Pexp_fun (_, default_arg, pat, body) ->
+        Option.iter (it.expr it) default_arg;
+        Scope.with_names scope (Scope.pattern_vars pat) (fun () -> it.expr it body)
+      | Pexp_function cases -> iter_cases it cases
+      | Pexp_match (scrut, cases) ->
+        it.expr it scrut;
+        iter_cases it cases
+      | Pexp_try (body, cases) ->
+        it.expr it body;
+        iter_cases it cases
+      | Pexp_for (pat, lo, hi, _, body) ->
+        it.expr it lo;
+        it.expr it hi;
+        Scope.with_names scope (Scope.pattern_vars pat) (fun () -> it.expr it body)
+      | _ -> default.expr it e
+  in
+  let structure (it : Ast_iterator.iterator) items =
+    let saved = Scope.snapshot scope in
+    List.iter
+      (fun (item : structure_item) ->
+        (* [let rec] at module level: the names are visible in their own
+           right-hand sides, so push before visiting. *)
+        (match item.pstr_desc with
+        | Pstr_value (Recursive, vbs) -> Scope.push scope (Scope.binding_vars vbs)
+        | _ -> ());
+        it.structure_item it item;
+        match item.pstr_desc with
+        | Pstr_value (Nonrecursive, vbs) -> Scope.push scope (Scope.binding_vars vbs)
+        | _ -> ())
+      items;
+    Scope.restore scope saved
+  in
+  let value_binding (it : Ast_iterator.iterator) (vb : value_binding) =
+    if visit_binding vb then default.value_binding it vb
+  in
+  { default with expr; structure; value_binding }
+
+(* --- R1: no polymorphic compare/equality/hash ----------------------- *)
+
+(* Modules whose main type is abstract and carries dedicated
+   compare/equal/hash functions; structural equality on their values is
+   either wrong today (signed Int64 ordering inside [Ipv6.t]) or one
+   representation change away from wrong. *)
+let tracked_modules = [ "Pfx"; "Ipv4"; "Ipv6"; "Vrp"; "Asnum"; "Roa"; "Route"; "Ptrie" ]
+
+(* Functions of those modules that return plain scalars (int / string /
+   bool / simple enums), for which polymorphic equality is fine — keeps
+   the [=] heuristic quiet on [Pfx.length p = 24] and friends. *)
+let scalar_returning =
+  [ "length"; "to_int"; "to_string"; "bits"; "addr_bits"; "afi"; "is_zero"; "hash";
+    "compare"; "equal"; "common_length"; "max_asn"; "cardinal"; "count"; "mem";
+    "subset"; "strict_subset"; "is_left_child"; "bit" ]
+
+(* Record fields of tracked modules holding abstract values (so
+   [v.Vrp.prefix = w.Vrp.prefix] is flagged but [v.Vrp.max_len = 24] is
+   not). *)
+let abstract_fields = [ "prefix"; "net" ]
+
+let mem_string s l = List.exists (String.equal s) l
+
+(* Does this operand of [=]/[<>] syntactically produce an abstract value
+   of a tracked module? *)
+let tracked_abstract (e : expression) =
+  (* The qualifier may nest ([Ipv6.Prefix.of_string]): a path counts as
+     tracked when any module segment is a tracked module. *)
+  let tracked_qualifier ms = List.exists (fun m -> mem_string m tracked_modules) ms in
+  let from_path parts =
+    match List.rev parts with
+    | f :: (_ :: _ as ms) -> tracked_qualifier ms && not (mem_string f scalar_returning)
+    | _ -> false
+  in
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> from_path (flatten_ident txt)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> from_path (flatten_ident txt)
+  | Pexp_field (_, { txt; _ }) -> (
+    match List.rev (flatten_ident txt) with
+    | f :: (_ :: _ as ms) -> tracked_qualifier ms && mem_string f abstract_fields
+    | [ f ] -> mem_string f abstract_fields
+    | [] -> false)
+  | Pexp_construct ({ txt; _ }, Some _) -> (
+    match List.rev (flatten_ident txt) with
+    | _ :: (_ :: _ as ms) -> tracked_qualifier ms
+    | _ -> false)
+  | _ -> false
+
+let r1_check ctx st =
+  let scope = Scope.create () in
+  let rule = "R1" and severity = Finding.Error in
+  let visit (e : expression) =
+    if has_attr "lint.poly_ok" e.pexp_attributes then false
+    else begin
+      (match e.pexp_desc with
+      | Pexp_ident { txt; loc } -> (
+        match flatten_ident txt with
+        | [ "compare" ] when not (Scope.is_bound scope "compare") ->
+          finding ctx ~rule ~severity loc
+            "polymorphic compare: use the module-specific compare (Pfx.compare, \
+             Vrp.compare, Int.compare, ...) or annotate [@lint.poly_ok]"
+        | [ "compare" ] -> ()
+        | [ "Hashtbl"; "hash" ] ->
+          finding ctx ~rule ~severity loc
+            "polymorphic Hashtbl.hash: hash the concrete representation directly (see \
+             Pfx.hash) or annotate [@lint.poly_ok]"
+        | [ "List"; ("mem" | "memq") ] ->
+          finding ctx ~rule ~severity loc
+            "polymorphic List.mem: use List.exists with an explicit equality \
+             (String.equal, Asnum.equal, ...) or annotate [@lint.poly_ok]"
+        | _ -> ())
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, [ (_, a); (_, b) ]) -> (
+        match flatten_ident txt with
+        | [ ("=" | "<>" | "==" | "!=") as op ] when tracked_abstract a || tracked_abstract b ->
+          finding ctx ~rule ~severity loc
+            (Printf.sprintf
+               "polymorphic (%s) on an abstract value: use the module's equal/compare \
+                or annotate [@lint.poly_ok]"
+               op)
+        | _ -> ())
+      | _ -> ());
+      true
+    end
+  in
+  let visit_binding (vb : value_binding) = not (has_attr "lint.poly_ok" vb.pvb_attributes) in
+  let it = scoped_iterator ~scope ~visit ~visit_binding () in
+  it.structure it st
+
+(* --- R2: no unsafe / partial stdlib in the core libraries ----------- *)
+
+let r2_check ctx st =
+  let rule = "R2" and severity = Finding.Error in
+  let default = Ast_iterator.default_iterator in
+  let expr (it : Ast_iterator.iterator) (e : expression) =
+    if has_attr "lint.unsafe_ok" e.pexp_attributes then ()
+    else begin
+      (match e.pexp_desc with
+      | Pexp_ident { txt; loc } -> (
+        match flatten_ident txt with
+        | (("Obj" | "Marshal" | "Str") as root) :: _ ->
+          finding ctx ~rule ~severity loc
+            (Printf.sprintf
+               "%s.* is banned in the core libraries (lib/core, lib/rpki, lib/netaddr, \
+                lib/ptrie)"
+               root)
+        | [ "List"; ("hd" | "nth" | "tl") ] | [ "Option"; "get" ] ->
+          finding ctx ~rule ~severity loc
+            "partial stdlib function in a core library: pattern-match explicitly, or \
+             use Option.value / annotate [@lint.unsafe_ok]"
+        | _ -> ())
+      | _ -> ());
+      default.expr it e
+    end
+  in
+  let value_binding (it : Ast_iterator.iterator) (vb : value_binding) =
+    if not (has_attr "lint.unsafe_ok" vb.pvb_attributes) then default.value_binding it vb
+  in
+  let it = { default with expr; value_binding } in
+  it.structure it st
+
+(* --- R3: no mutable capture in Pool closures ------------------------ *)
+
+let pool_entrypoints = [ "parallel_map"; "parallel_iter"; "parallel_tasks" ]
+
+let is_pool_call parts =
+  match List.rev parts with
+  | f :: rest ->
+    mem_string f pool_entrypoints
+    && (match rest with [] -> true | m :: _ -> String.equal m "Pool")
+  | [] -> false
+
+(* Container-mutating functions: flagged when their first argument is a
+   variable captured from outside the closure. *)
+let mutator_modules = [ "Hashtbl"; "Buffer"; "Stack"; "Queue"; "Tbl"; "Array"; "Bytes" ]
+
+let mutator_fns =
+  [ "set"; "add"; "replace"; "remove"; "reset"; "clear"; "truncate"; "push"; "pop";
+    "add_string"; "add_char"; "add_bytes"; "add_buffer"; "add_substring"; "fill";
+    "blit"; "unsafe_set" ]
+
+let is_container_mutation parts =
+  match List.rev parts with
+  | f :: m :: _ -> mem_string f mutator_fns && mem_string m mutator_modules
+  | _ -> false
+
+(* Walk one closure literal: anything bound inside (parameters, local
+   lets, case patterns) is fine to mutate; mutation reaching a free
+   variable is a captured-state write and gets flagged. *)
+let check_closure ctx (closure : expression) =
+  let rule = "R3" and severity = Finding.Error in
+  let scope = Scope.create () in
+  let free (e : expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Lident x; _ } -> if Scope.is_bound scope x then None else Some x
+    | _ -> None
+  in
+  let report loc what x =
+    finding ctx ~rule ~severity loc
+      (Printf.sprintf
+         "closure passed to Pool.parallel_* %s captured '%s'; pool tasks must be pure — \
+          restructure, or annotate [@lint.domain_safe] if the writes are provably \
+          disjoint"
+         what x)
+  in
+  let visit (e : expression) =
+    if has_attr "lint.domain_safe" e.pexp_attributes then false
+    else begin
+      (match e.pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) -> (
+        let parts = flatten_ident txt in
+        match (parts, args) with
+        | [ ":=" ], (_, lhs) :: _ -> (
+          match free lhs with Some x -> report loc "assigns to" x | None -> ())
+        | [ ("incr" | "decr") ], (_, lhs) :: _ -> (
+          match free lhs with Some x -> report loc "mutates" x | None -> ())
+        | _, (_, first) :: _ when is_container_mutation parts -> (
+          match free first with Some x -> report loc "mutates container" x | None -> ())
+        | _ -> ())
+      | Pexp_setfield (lhs, _, _) -> (
+        match free lhs with
+        | Some x -> report e.pexp_loc "sets a field of" x
+        | None -> ())
+      | _ -> ());
+      true
+    end
+  in
+  let it = scoped_iterator ~scope ~visit () in
+  it.expr it closure
+
+let rec closure_literals (e : expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> [ e ]
+  | Pexp_construct ({ txt = Lident "::"; _ }, Some { pexp_desc = Pexp_tuple [ hd; tl ]; _ })
+    ->
+    closure_literals hd @ closure_literals tl
+  | _ -> []
+
+let r3_check ctx st =
+  let default = Ast_iterator.default_iterator in
+  let expr (it : Ast_iterator.iterator) (e : expression) =
+    (if not (has_attr "lint.domain_safe" e.pexp_attributes) then
+       match e.pexp_desc with
+       | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+         when is_pool_call (flatten_ident txt) ->
+         List.iter
+           (fun (_, arg) ->
+             if not (has_attr "lint.domain_safe" arg.pexp_attributes) then
+               List.iter (check_closure ctx) (closure_literals arg))
+           args
+       | _ -> ());
+    default.expr it e
+  in
+  let it = { default with expr } in
+  it.structure it st
+
+(* --- R4: every lib/**.ml has a matching .mli ------------------------ *)
+
+let r4_check tctx =
+  let have_mli =
+    List.filter (fun f -> Filename.check_suffix f ".mli") tctx.tree_files
+  in
+  List.iter
+    (fun f ->
+      if is_ml f && under_prefix "lib/" f then
+        let want = f ^ "i" in
+        if not (mem_string want have_mli) then
+          tctx.tree_add
+            (Finding.make ~rule:"R4" ~severity:Finding.Error ~file:f ~line:1 ~col:0
+               "library module has no .mli: every lib/**.ml must declare its interface"))
+    tctx.tree_files
+
+(* --- R5: no stdout printing from library code ----------------------- *)
+
+let stdout_idents =
+  [ [ "print_string" ]; [ "print_endline" ]; [ "print_newline" ]; [ "print_char" ];
+    [ "print_int" ]; [ "print_float" ]; [ "print_bytes" ]; [ "Printf"; "printf" ];
+    [ "Format"; "printf" ]; [ "Format"; "print_string" ]; [ "Format"; "print_newline" ];
+    [ "Format"; "print_flush" ]; [ "Format"; "open_box" ] ]
+
+let r5_check ctx st =
+  let rule = "R5" and severity = Finding.Error in
+  let default = Ast_iterator.default_iterator in
+  let expr (it : Ast_iterator.iterator) (e : expression) =
+    if has_attr "lint.stdout_ok" e.pexp_attributes then ()
+    else begin
+      (match e.pexp_desc with
+      | Pexp_ident { txt; loc } ->
+        let parts = flatten_ident txt in
+        if List.exists (fun banned -> List.equal String.equal banned parts) stdout_idents
+        then
+          finding ctx ~rule ~severity loc
+            "stdout printing from lib/: return data or take a Format formatter; \
+             printing belongs in bin/ and bench/ (or annotate [@lint.stdout_ok])"
+      | _ -> ());
+      default.expr it e
+    end
+  in
+  let it = { default with expr } in
+  it.structure it st
+
+(* --- registry ------------------------------------------------------- *)
+
+let all : t list =
+  [ { id = "R1";
+      name = "poly-compare";
+      severity = Finding.Error;
+      doc =
+        "No polymorphic compare/equality/hash where a module-specific one exists: bare \
+         `compare` (unless locally shadowed), Hashtbl.hash, List.mem, and =/<> applied \
+         to abstract Pfx/Ipv4/Ipv6/Vrp/Asnum/Roa/Route values. Escape: [@lint.poly_ok].";
+      kind = File_rule r1_check };
+    { id = "R2";
+      name = "unsafe-stdlib";
+      severity = Finding.Error;
+      doc =
+        "lib/core, lib/rpki, lib/netaddr and lib/ptrie must not use Obj.*, Marshal.*, \
+         Str.*, or the partial List.hd/List.tl/List.nth/Option.get. Escape: \
+         [@lint.unsafe_ok].";
+      kind =
+        File_rule (fun ctx st -> if in_core_libs ctx.path then r2_check ctx st) };
+    { id = "R3";
+      name = "domain-capture";
+      severity = Finding.Error;
+      doc =
+        "Closure literals passed to Pool.parallel_map/parallel_iter/parallel_tasks must \
+         not mutate variables captured from the enclosing scope (refs, Hashtbl, Buffer, \
+         array/field assignment). Escape: [@lint.domain_safe].";
+      kind = File_rule r3_check };
+    { id = "R4";
+      name = "missing-mli";
+      severity = Finding.Error;
+      doc = "Every lib/**.ml has a matching .mli.";
+      kind = Tree_rule r4_check };
+    { id = "R5";
+      name = "stdout-in-lib";
+      severity = Finding.Error;
+      doc =
+        "No printing to stdout from lib/ (print_string, Printf.printf, Format.printf, \
+         ...): stdout is reserved for bin/ and bench/. Escape: [@lint.stdout_ok].";
+      kind =
+        File_rule (fun ctx st -> if under_prefix "lib/" ctx.path then r5_check ctx st) };
+  ]
+
+let find ids =
+  List.filter (fun r -> List.exists (fun id -> String.equal id r.id) ids) all
+
+let ids () = List.map (fun r -> r.id) all

@@ -1,0 +1,38 @@
+(** The repo-specific lint rule catalogue (see DESIGN.md §9).
+
+    All checkers are syntactic — they walk the {!Parsetree} with
+    [Ast_iterator], with no typing environment — and each offers an
+    attribute escape hatch for sites the approximation gets wrong:
+    [[@lint.poly_ok]] (R1), [[@lint.unsafe_ok]] (R2),
+    [[@lint.domain_safe]] (R3), [[@lint.stdout_ok]] (R5). *)
+
+type file_context = {
+  path : string;  (** '/'-separated path relative to the lint root *)
+  add : Finding.t -> unit;
+}
+
+type tree_context = {
+  tree_files : string list;  (** every scanned file, relative paths *)
+  tree_add : Finding.t -> unit;
+}
+
+type kind =
+  | File_rule of (file_context -> Parsetree.structure -> unit)
+      (** runs once per parsed [.ml] file *)
+  | Tree_rule of (tree_context -> unit)  (** runs once per lint invocation *)
+
+type t = {
+  id : string;  (** "R1" .. "R5" *)
+  name : string;  (** short slug, e.g. "poly-compare" *)
+  severity : Finding.severity;
+  doc : string;  (** one-paragraph rationale shown by [--list-rules] *)
+  kind : kind;
+}
+
+val all : t list
+(** The registry, in rule-id order. *)
+
+val find : string list -> t list
+(** Rules whose id is in the list (unknown ids are ignored). *)
+
+val ids : unit -> string list

@@ -1,0 +1,27 @@
+(** Lexical-scope bookkeeping for syntactic (untyped) AST checks: which
+    names are currently shadowed by a local binding. *)
+
+type t
+
+val create : unit -> t
+val is_bound : t -> string -> bool
+
+val push : t -> string list -> unit
+(** Add one shadowing level for each name (multiset semantics). *)
+
+val pop : t -> string list -> unit
+
+val with_names : t -> string list -> (unit -> 'a) -> 'a
+(** [push], run, [pop] (also on exception). *)
+
+val snapshot : t -> t
+(** Copy the current state; see {!restore}. *)
+
+val restore : t -> t -> unit
+(** Reset to a prior {!snapshot} — used when leaving a submodule so its
+    structure-level bindings do not leak into following items. *)
+
+val pattern_vars : Parsetree.pattern -> string list
+(** Every variable the pattern binds. *)
+
+val binding_vars : Parsetree.value_binding list -> string list

@@ -201,6 +201,13 @@ module Prefix = struct
   type addr = t
 
   let addr_equal = equal
+
+  (* The enclosing module's unsigned 128-bit compare. Bound by name
+     before [Prefix.compare] shadows [compare] below: prefix ordering
+     MUST stay unsigned — polymorphic (or signed Int64) comparison
+     would order high-bit-set addresses (8000::/1 and up) before low
+     ones and silently corrupt every sorted-prefix invariant. *)
+  let addr_compare = compare
   type nonrec t = { net : t; len : int }
 
   let make a l =
@@ -241,7 +248,7 @@ module Prefix = struct
   let to_string p = Printf.sprintf "%s/%d" (to_string p.net) p.len
 
   let compare p q =
-    let c = compare p.net q.net in
+    let c = addr_compare p.net q.net in
     if c <> 0 then c else Int.compare p.len q.len
 
   let equal p q = addr_equal p.net q.net && Int.equal p.len q.len

@@ -5,6 +5,9 @@ type t =
 type afi = Afi_v4 | Afi_v6
 
 let afi = function V4 _ -> Afi_v4 | V6 _ -> Afi_v6
+let afi_to_int = function Afi_v4 -> 0 | Afi_v6 -> 1
+let afi_equal a b = Int.equal (afi_to_int a) (afi_to_int b)
+let afi_compare a b = Int.compare (afi_to_int a) (afi_to_int b)
 let addr_bits = function V4 _ -> Ipv4.bits | V6 _ -> Ipv6.bits
 let length = function V4 p -> Ipv4.Prefix.length p | V6 p -> Ipv6.Prefix.length p
 let v4 p = V4 p
@@ -35,7 +38,12 @@ let equal a b = compare a b = 0
    already (network lsl 6) lor length, a single immediate int; V6 mixes
    its three ints FNV-1a style. *)
 let hash = function
-  | V4 p -> Hashtbl.hash ((Ipv4.to_int (Ipv4.Prefix.network p) lsl 6) lor Ipv4.Prefix.length p)
+  (* The V4 payload is packed into one immediate int, so Hashtbl.hash
+     sees no abstract structure here — it is just an int scrambler
+     (and its values are load-bearing for bucket order downstream). *)
+  | V4 p ->
+    (Hashtbl.hash [@lint.poly_ok])
+      ((Ipv4.to_int (Ipv4.Prefix.network p) lsl 6) lor Ipv4.Prefix.length p)
   | V6 p ->
     let n = Ipv6.Prefix.network p in
     let h = 0x9e3779b1 in
@@ -147,5 +155,8 @@ let aggregate prefixes =
     done;
     !set
   in
-  let deduped = drop_covered (List.sort_uniq compare prefixes) in
+  (* [Ord.compare] is this module's own compare — spelled with the
+     qualified name so the unsigned IPv6 ordering is explicit rather
+     than inherited through shadowing (see ipv6.ml's addr_compare). *)
+  let deduped = drop_covered (List.sort_uniq Ord.compare prefixes) in
   Set.elements (merge_sweep (Set.of_list deduped))

@@ -13,6 +13,13 @@ type afi = Afi_v4 | Afi_v6
 
 val afi : t -> afi
 
+val afi_to_int : afi -> int
+(** [Afi_v4 -> 0], [Afi_v6 -> 1]: a stable scalar encoding for hashing
+    and packing. *)
+
+val afi_equal : afi -> afi -> bool
+val afi_compare : afi -> afi -> int
+
 val addr_bits : t -> int
 (** Width of the address space: 32 for IPv4, 128 for IPv6. Also the
     largest legal maxLength for a ROA on this prefix (RFC 6482). *)

@@ -18,7 +18,10 @@ let int64 t =
    position, so a child stream doesn't shift when the parent draws
    more numbers. *)
 let split t label =
-  let h = Int64.of_int (Hashtbl.hash label) in
+  (* Hashtbl.hash on a [string] label: strings are a concrete type with
+     no compare/hash of their own here, and the stdlib string hash is
+     deterministic across runs — which stream derivation requires. *)
+  let h = Int64.of_int ((Hashtbl.hash [@lint.poly_ok]) label) in
   of_state (mix64 (Int64.logxor t.base (Int64.mul h golden_gamma)))
 
 let int t bound =

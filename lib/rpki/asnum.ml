@@ -29,7 +29,10 @@ let zero = 0
 let is_zero n = n = 0
 let compare = Int.compare
 let equal = Int.equal
-let hash = Hashtbl.hash
+
+(* AS numbers are 32-bit non-negative ints: the value is its own
+   perfectly distributed hash — no polymorphic Hashtbl.hash needed. *)
+let hash n = n land max_int
 let pp ppf n = Format.pp_print_string ppf (to_string n)
 
 module Ord = struct

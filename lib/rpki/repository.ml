@@ -211,7 +211,7 @@ let revoke t name =
        (match serial with
         | Error e -> Error ("cannot parse object to revoke: " ^ e)
         | Ok serial ->
-          if not (List.mem serial ca.crl) then ca.crl <- serial :: ca.crl;
+          if not (List.exists (Int.equal serial) ca.crl) then ca.crl <- serial :: ca.crl;
           Ok ()))
 
 let tamper t name =
@@ -391,7 +391,7 @@ let validate t =
                 then reject o.name "router certificate overclaims its CA's resources"
                 else if
                   (match Hashtbl.find_opt t.cas o.issuer_ca with
-                   | Some ca -> List.mem cert.Cert.serial ca.crl
+                   | Some ca -> List.exists (Int.equal cert.Cert.serial) ca.crl
                    | None -> false)
                 then reject o.name "router certificate is revoked (on the CA's CRL)"
                 else
@@ -405,7 +405,7 @@ let validate t =
              | Ok so ->
                let revoked ee_cert =
                  match Hashtbl.find_opt t.cas o.issuer_ca with
-                 | Some ca -> List.mem ee_cert.Cert.serial ca.crl
+                 | Some ca -> List.exists (Int.equal ee_cert.Cert.serial) ca.crl
                  | None -> false
                in
                if so.Signed_object.content_type = Aspa.content_type then begin
@@ -454,7 +454,8 @@ let validate t =
       | Ok mft ->
         List.iter
           (fun (e : Manifest.entry) ->
-            if not (List.mem e.Manifest.file published) then missing := e.Manifest.file :: !missing)
+            if not (List.exists (String.equal e.Manifest.file) published) then
+              missing := e.Manifest.file :: !missing)
           mft.Manifest.entries
       | Error _ -> ())
     manifests;

@@ -23,7 +23,11 @@ let create vrps =
         db.count <- db.count + 1;
         Some [ (v.Vrp.max_len, v.Vrp.asn) ]
       | Some l ->
-        if List.mem (v.Vrp.max_len, v.Vrp.asn) l then Some l
+        if
+          List.exists
+            (fun (m, a) -> Int.equal m v.Vrp.max_len && Asnum.equal a v.Vrp.asn)
+            l
+        then Some l
         else begin
           db.count <- db.count + 1;
           Some ((v.Vrp.max_len, v.Vrp.asn) :: l)

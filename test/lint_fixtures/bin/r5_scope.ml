@@ -1,0 +1,4 @@
+(* R5 is scoped to lib/: executables print to stdout freely.  Nothing
+   here may be flagged. *)
+
+let () = print_endline "binaries own stdout"

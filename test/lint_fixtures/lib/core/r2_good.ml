@@ -1,0 +1,10 @@
+(* R2 fixture: total alternatives and the [@lint.unsafe_ok] escape
+   hatch — none of these may be flagged. *)
+
+let first xs = match xs with x :: _ -> Some x | [] -> None
+
+let force ~default o = Option.value ~default o
+
+(* Explicitly blessed unsafe use, with the justification the attribute
+   is meant to carry. *)
+let blessed xs = (List.hd [@lint.unsafe_ok]) xs

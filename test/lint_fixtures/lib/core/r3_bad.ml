@@ -1,0 +1,22 @@
+(* R3 fixture: closures handed to the domain pool that mutate state
+   captured from the enclosing scope — data races waiting to happen. *)
+
+type acc = { mutable last : int }
+
+let count_matches pool items =
+  let hits = ref 0 in
+  Pool.parallel_iter pool ~f:(fun x -> if x > 0 then incr hits) items;
+  !hits
+
+let accumulate pool items =
+  let total = ref 0 in
+  Pool.parallel_iter pool ~f:(fun x -> total := !total + x) items;
+  !total
+
+let tally pool items =
+  let tbl = Hashtbl.create 16 in
+  Pool.parallel_iter pool ~f:(fun x -> Hashtbl.replace tbl x ()) items;
+  tbl
+
+let record pool (state : acc) items =
+  Pool.parallel_iter pool ~f:(fun x -> state.last <- x) items

@@ -1,0 +1,27 @@
+(* R3 fixture: pool closures that are pure, mutate only their own
+   locals, or carry the [@lint.domain_safe] waiver — none may be
+   flagged. *)
+
+let squares pool items = Pool.parallel_map pool ~f:(fun x -> x * x) items
+
+(* Mutation confined to state created inside the closure is fine. *)
+let local_state pool items =
+  Pool.parallel_map pool
+    ~f:(fun xs ->
+      let acc = ref 0 in
+      List.iter (fun x -> acc := !acc + x) xs;
+      !acc)
+    items
+
+(* Disjoint writes by construction, blessed explicitly. *)
+let scatter pool (out : int array) items =
+  Pool.parallel_iter pool
+    ~f:((fun i -> out.(i) <- i + 1) [@lint.domain_safe])
+    items
+
+(* Mutating captured state outside any pool closure is not R3's
+   business. *)
+let sequential_sum items =
+  let total = ref 0 in
+  Array.iter (fun x -> total := !total + x) items;
+  !total

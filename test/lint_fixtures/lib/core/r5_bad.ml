@@ -1,0 +1,7 @@
+(* R5 fixture: stdout printing from library code. *)
+
+let debug_dump x =
+  print_endline "dumping";
+  Printf.printf "value: %d\n" x;
+  Format.printf "formatted: %d@." x;
+  print_newline ()

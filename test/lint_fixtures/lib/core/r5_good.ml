@@ -1,0 +1,11 @@
+(* R5 fixture: the approved alternatives — Format.fprintf to an
+   explicit formatter, Buffer accumulation, stderr, and the
+   [@lint.stdout_ok] waiver — none may be flagged. *)
+
+let render ppf x = Format.fprintf ppf "value: %d@." x
+
+let to_buffer b x = Buffer.add_string b (string_of_int x)
+
+let warn msg = Printf.eprintf "warning: %s\n%!" msg
+
+let blessed_progress x = (print_endline [@lint.stdout_ok]) (string_of_int x)

@@ -1,0 +1,4 @@
+(* R4 fixture: a library module with no matching .mli — the whole file
+   is the violation. *)
+
+let unconstrained_surface x = x + 1

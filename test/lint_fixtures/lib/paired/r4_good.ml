@@ -1,0 +1,4 @@
+(* R4 fixture: properly paired with r4_good.mli — must not be
+   flagged. *)
+
+let surface x = x + 1

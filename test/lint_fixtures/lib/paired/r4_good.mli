@@ -1,0 +1,1 @@
+val surface : int -> int

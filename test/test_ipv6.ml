@@ -88,6 +88,59 @@ let test_subprefixes () =
    | exception Invalid_argument _ -> ()
    | _ -> Alcotest.fail "unbounded enumeration accepted")
 
+let test_unsigned_order () =
+  (* Addresses with the top bit set live in the Int64-negative range of
+     the hi word.  The ordering must stay unsigned — a polymorphic (or
+     otherwise signed) comparison would sort 8000:: and above BEFORE the
+     low half of the address space.  Regression for the ordering
+     guarantee [addr_compare] pins down in ipv6.ml. *)
+  let lt a b =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s < %s" a b)
+      true
+      (Ipv6.compare (Ipv6.of_string_exn a) (Ipv6.of_string_exn b) < 0)
+  in
+  lt "::1" "8000::";
+  lt "::1" "ffff::1";
+  lt "7fff:ffff:ffff:ffff:ffff:ffff:ffff:ffff" "8000::";
+  lt "8000::" "c000::";
+  lt "c000::" "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff";
+  (* Same hi word (itself negative as an Int64), ordering decided by a
+     high-bit lo word. *)
+  lt "ffff::1" "ffff::8000:0:0:1";
+  Alcotest.(check int) "equal addresses" 0
+    (Ipv6.compare (Ipv6.of_string_exn "8000::1") (Ipv6.of_string_exn "8000::1"))
+
+let test_prefix_unsigned_order () =
+  let plt a b =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s < %s" a b)
+      true
+      (P.compare (P.of_string_exn a) (P.of_string_exn b) < 0)
+  in
+  plt "::/1" "8000::/1";
+  plt "2001:db8::/32" "8000::/1";
+  plt "7fff::/16" "8000::/16";
+  (* A signed comparison would also corrupt Pfx.Set ordering: the
+     minimum element must come from the low half. *)
+  let module Pfx = Netaddr.Pfx in
+  let s =
+    Pfx.Set.of_list
+      (List.map
+         (fun x -> Testutil.check_ok (Pfx.of_string x))
+         [ "8000::/1"; "c000::/2"; "2001:db8::/32"; "::1/128" ])
+  in
+  Alcotest.(check string) "set minimum is the low prefix" "::1/128"
+    (Pfx.to_string (Pfx.Set.min_elt s));
+  (* And aggregation must recognise high-half siblings: 8000::/2 and
+     c000::/2 merge into 8000::/1. *)
+  let merged =
+    Pfx.aggregate
+      (List.map (fun x -> Testutil.check_ok (Pfx.of_string x)) [ "8000::/2"; "c000::/2" ])
+  in
+  Alcotest.(check (list string)) "high-half siblings aggregate" [ "8000::/1" ]
+    (List.map Pfx.to_string merged)
+
 let prop_string_roundtrip =
   QCheck2.Test.make ~name:"ipv6 to_string/of_string roundtrip" ~count:500 Testutil.gen_ipv6
     (fun a -> Netaddr.Ipv6.equal a (Ipv6.of_string_exn (Ipv6.to_string a)))
@@ -119,6 +172,9 @@ let () =
         [ Alcotest.test_case "basics" `Quick test_prefix_basics;
           Alcotest.test_case "64-bit boundary" `Quick test_prefix_cross_word_boundary;
           Alcotest.test_case "subprefixes" `Quick test_subprefixes ] );
+      ( "ordering",
+        [ Alcotest.test_case "addresses order unsigned" `Quick test_unsigned_order;
+          Alcotest.test_case "prefixes order unsigned" `Quick test_prefix_unsigned_order ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_string_roundtrip; prop_groups_roundtrip; prop_prefix_roundtrip;

@@ -1,0 +1,155 @@
+(* The static-analysis pass, checked three ways: the fixture corpus
+   against a golden findings list (every rule fires where it must and
+   stays quiet where it must not), the JSON/baseline round trip, and a
+   self-check that the production tree lints clean. *)
+
+module Engine = Lintcore.Engine
+module Rules = Lintcore.Rules
+module Finding = Lintcore.Finding
+
+(* Fixtures are copied into the build dir by the dune [deps] clause
+   (cwd under [dune runtest]); fall back to the source tree so the test
+   also runs via [dune exec] from the repo root. *)
+let fixtures_root =
+  List.find Sys.file_exists [ "lint_fixtures"; Filename.concat "test" "lint_fixtures" ]
+
+let repo_root () =
+  let rec up dir n =
+    if n = 0 then Alcotest.fail "dune-project not found above cwd"
+    else if Sys.file_exists (Filename.concat dir "dune-project") then dir
+    else up (Filename.dirname dir) (n - 1)
+  in
+  up (Sys.getcwd ()) 6
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fixture_report () = Engine.run ~root:fixtures_root [ "lib"; "bin" ]
+
+(* --- golden corpus ---------------------------------------------------- *)
+
+let test_golden () =
+  let report = fixture_report () in
+  let got = String.trim (Engine.to_text report) in
+  let expected = String.trim (read_file (Filename.concat fixtures_root "expected_findings.txt")) in
+  Alcotest.(check string) "fixture findings match the golden file" expected got
+
+let test_every_rule_fires () =
+  let report = fixture_report () in
+  List.iter
+    (fun rule ->
+      let hits =
+        List.length (List.filter (fun f -> String.equal f.Finding.rule rule.Rules.id) report.Engine.findings)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "rule %s fires on its fixture" rule.Rules.id)
+        true (hits > 0))
+    Rules.all
+
+let test_good_fixtures_clean () =
+  let report = fixture_report () in
+  let is_good_file f =
+    let base = Filename.basename f.Finding.file in
+    List.exists (fun s -> String.equal base s)
+      [ "r1_good.ml"; "r2_good.ml"; "r3_good.ml"; "r4_good.ml"; "r5_good.ml";
+        "r2_scope.ml"; "r5_scope.ml" ]
+  in
+  match List.filter is_good_file report.Engine.findings with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "good fixture flagged: %s" (Finding.to_text f)
+
+let test_rule_selection () =
+  let r4 = Rules.find [ "R4" ] in
+  let report = Engine.run ~rules:r4 ~root:fixtures_root [ "lib"; "bin" ] in
+  Alcotest.(check int) "only the missing-mli finding" 1 (List.length report.Engine.findings);
+  List.iter
+    (fun f -> Alcotest.(check string) "finding is R4" "R4" f.Finding.rule)
+    report.Engine.findings
+
+(* --- report formats and baseline -------------------------------------- *)
+
+let test_json_shape () =
+  let report = fixture_report () in
+  let json = Engine.to_json report in
+  let contains needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec scan i = i + nl <= jl && (String.equal (String.sub json i nl) needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "schema tag present" true (contains Engine.schema);
+  Alcotest.(check bool) "fingerprints present" true (contains "\"fingerprint\"");
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fingerprint of %s emitted" (Finding.fingerprint f))
+        true
+        (contains (Finding.fingerprint f)))
+    report.Engine.findings
+
+let test_baseline_roundtrip () =
+  let report = fixture_report () in
+  Alcotest.(check bool) "fixtures do have errors" true (Engine.has_errors report);
+  let tmp = Filename.temp_file "lint_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc (Engine.to_json report);
+      close_out oc;
+      let baseline = Engine.load_baseline tmp in
+      Alcotest.(check int) "one fingerprint per finding"
+        (List.length report.Engine.findings) (List.length baseline);
+      let filtered = Engine.apply_baseline ~baseline report in
+      Alcotest.(check int) "baseline swallows every finding" 0
+        (List.length filtered.Engine.findings);
+      Alcotest.(check bool) "no errors left" false (Engine.has_errors filtered))
+
+let test_unparseable_file () =
+  let dir = Filename.temp_file "lintsrc" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "broken.ml" in
+  let oc = open_out path in
+  output_string oc "let x = (unclosed\n";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Sys.rmdir dir)
+    (fun () ->
+      let report = Engine.run ~root:dir [ "broken.ml" ] in
+      match report.Engine.findings with
+      | [ f ] ->
+        Alcotest.(check string) "parse-error pseudo rule" "parse" f.Finding.rule;
+        Alcotest.(check bool) "counts as an error" true (Engine.has_errors report)
+      | l -> Alcotest.failf "expected one parse finding, got %d" (List.length l))
+
+(* --- the production tree lints clean ----------------------------------- *)
+
+let test_tree_is_clean () =
+  let root = repo_root () in
+  let report = Engine.run ~root [ "lib"; "bin"; "bench"; "test" ] in
+  match report.Engine.findings with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "production tree has %d finding(s); first: %s"
+      (List.length report.Engine.findings)
+      (Finding.to_text f)
+
+let () =
+  Alcotest.run "lint"
+    [ ( "fixtures",
+        [ Alcotest.test_case "golden findings" `Quick test_golden;
+          Alcotest.test_case "every rule fires" `Quick test_every_rule_fires;
+          Alcotest.test_case "good fixtures stay clean" `Quick test_good_fixtures_clean;
+          Alcotest.test_case "--rules selection" `Quick test_rule_selection ] );
+      ( "report",
+        [ Alcotest.test_case "json shape" `Quick test_json_shape;
+          Alcotest.test_case "baseline round trip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "unparseable file" `Quick test_unparseable_file ] );
+      ( "self-check",
+        [ Alcotest.test_case "production tree lints clean" `Quick test_tree_is_clean ] ) ]

@@ -101,7 +101,9 @@ let prop_model =
           end)
         ops;
       Ptrie.cardinal t = Pfx.Map.cardinal !model
-      && Pfx.Map.for_all (fun q v -> Ptrie.find t q = Some v) !model)
+      && Pfx.Map.for_all
+           (fun q v -> Option.equal Int.equal (Ptrie.find t q) (Some v))
+           !model)
 
 let prop_longest_match_naive =
   let open QCheck2 in
@@ -207,7 +209,7 @@ let check_queries t model probe i =
      never share a length, so the order is total) *)
   let exp_cov =
     List.filter (fun (s, _) -> Pfx.subset probe s) bindings
-    |> List.sort (fun (q, _) (r, _) -> compare (Pfx.length q) (Pfx.length r))
+    |> List.sort (fun (q, _) (r, _) -> Int.compare (Pfx.length q) (Pfx.length r))
   in
   check_pair_lists "covering" i exp_cov (Ptrie.covering t probe);
   let acc = ref [] in
@@ -215,8 +217,10 @@ let check_queries t model probe i =
   check_pair_lists "iter_covering" i exp_cov (List.rev !acc);
   let pred _ v = v land 1 = 0 in
   if
-    Ptrie.exists_covering t probe pred
-    <> List.exists (fun (q, v) -> pred q v) exp_cov
+    not
+      (Bool.equal
+         (Ptrie.exists_covering t probe pred)
+         (List.exists (fun (q, v) -> pred q v) exp_cov))
   then Alcotest.failf "exists_covering mismatch at op %d" i;
   (* longest_match = last covering entry *)
   let exp_lm = match List.rev exp_cov with [] -> None | x :: _ -> Some x in
@@ -238,7 +242,7 @@ let check_queries t model probe i =
   let exp_desc =
     List.exists (fun (s, _) -> Pfx.subset s probe && not (Pfx.equal s probe)) bindings
   in
-  if Ptrie.has_descendant t probe <> exp_desc then
+  if not (Bool.equal (Ptrie.has_descendant t probe) exp_desc) then
     Alcotest.failf "has_descendant mismatch at op %d" i
 
 let run_differential family n_ops seed =
@@ -265,7 +269,7 @@ let run_differential family n_ops seed =
      | _ -> Ptrie.update t q (fun v -> v) (* identity rebind *));
     if Ptrie.cardinal t <> Pfx.Map.cardinal !model then
       Alcotest.failf "cardinal mismatch at op %d" i;
-    if Ptrie.find t q <> Pfx.Map.find_opt q !model then
+    if not (Option.equal Int.equal (Ptrie.find t q) (Pfx.Map.find_opt q !model)) then
       Alcotest.failf "find mismatch at op %d (%s)" i (Pfx.to_string q);
     if i mod 17 = 0 then begin
       let probe = if Random.State.bool rng then q else random_pfx family rng in

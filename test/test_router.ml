@@ -21,7 +21,7 @@ let diamond_net ?rov_for () =
   let net = Network.create () in
   let rov_of n =
     match rov_for with
-    | Some (ases, rov) when List.mem n ases -> Some rov
+    | Some (ases, rov) when List.exists (Int.equal n) ases -> Some rov
     | _ -> None
   in
   List.iter (fun n -> Network.add net (make_router ?rov:(rov_of n) n)) [ 1; 2; 3; 4; 5; 6; 7 ];

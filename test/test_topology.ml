@@ -99,10 +99,10 @@ let test_import_filter_blocks () =
      it must find another way or none. 3 still has it (from 6). *)
   let filter asn (_ : Policy.relation) (_ : Route.t) = not (Asnum.equal asn (a 1)) in
   let outcome = Propagate.run g ~originations:[ (a 6, origin) ] ~import_filter:filter () in
-  Alcotest.(check bool) "1 has no route" true (Asnum.Map.find_opt (a 1) outcome = None);
-  Alcotest.(check bool) "3 still has it" true (Asnum.Map.find_opt (a 3) outcome <> None);
+  Alcotest.(check bool) "1 has no route" true (Option.is_none (Asnum.Map.find_opt (a 1) outcome));
+  Alcotest.(check bool) "3 still has it" true (Option.is_some (Asnum.Map.find_opt (a 3) outcome));
   (* 2 can only reach 6 via 1, so it has no route either. *)
-  Alcotest.(check bool) "2 cut off" true (Asnum.Map.find_opt (a 2) outcome = None)
+  Alcotest.(check bool) "2 cut off" true (Option.is_none (Asnum.Map.find_opt (a 2) outcome))
 
 let test_competing_origins_split () =
   (* Two origins for the same prefix: each AS picks the nearer one
@@ -128,7 +128,7 @@ let test_loop_prevention () =
   let forged = Route.make_exn (p "10.0.0.0/16") [ a 6; a 3 ] in
   let outcome = Propagate.run g ~originations:[ (a 6, forged) ] () in
   (* 3 must ignore it (its own AS in the path). *)
-  Alcotest.(check bool) "3 rejects looped route" true (Asnum.Map.find_opt (a 3) outcome = None)
+  Alcotest.(check bool) "3 rejects looped route" true (Option.is_none (Asnum.Map.find_opt (a 3) outcome))
 
 let test_mixed_prefix_rejected () =
   let g = diamond () in

@@ -9,8 +9,9 @@
 
 SMOKE_JSON := BENCH_smoke.json
 VALIDATE_SMOKE_JSON := BENCH_validate_smoke.json
+SIM_SMOKE_JSON := BENCH_rtr_smoke.json
 
-.PHONY: build test lint check bench bench-smoke bench-validate-smoke clean
+.PHONY: build test lint check bench bench-smoke bench-validate-smoke sim-smoke clean
 
 build:
 	dune build
@@ -47,9 +48,27 @@ bench-validate-smoke:
 		{ echo "bench-validate-smoke: parallel validation drifted from sequential"; exit 1; }
 	@echo "bench-validate-smoke: OK"
 
+# Fault-injection smoke: a reduced RTR sweep (every fault policy, a
+# handful of seeds) must satisfy the convergence invariant and replay
+# deterministically. The bench exits non-zero on any violation; the
+# greps double-check the recorded verdicts.
+sim-smoke:
+	rm -f $(SIM_SMOKE_JSON)
+	BENCH_RTR_SEEDS=10 BENCH_ONLY=rtr BENCH_RTR_JSON=$(SIM_SMOKE_JSON) \
+		dune exec bench/main.exe
+	@test -f $(SIM_SMOKE_JSON) || { echo "sim-smoke: $(SIM_SMOKE_JSON) missing"; exit 1; }
+	@grep -q '"schema": "rpki-maxlen/bench-rtr/v1"' $(SIM_SMOKE_JSON) || \
+		{ echo "sim-smoke: bad schema"; exit 1; }
+	@grep -q '"all_ok": true' $(SIM_SMOKE_JSON) || \
+		{ echo "sim-smoke: a run violated the convergence invariant"; exit 1; }
+	@grep -q '"deterministic": true' $(SIM_SMOKE_JSON) || \
+		{ echo "sim-smoke: replay diverged"; exit 1; }
+	@echo "sim-smoke: OK"
+
 clean:
 	dune clean
-	rm -f BENCH_compress.json BENCH_validate.json $(SMOKE_JSON) $(VALIDATE_SMOKE_JSON) $(LINT_JSON)
+	rm -f BENCH_compress.json BENCH_validate.json BENCH_rtr.json \
+		$(SMOKE_JSON) $(VALIDATE_SMOKE_JSON) $(SIM_SMOKE_JSON) $(LINT_JSON)
 
 LINT_JSON := LINT_report.json
 
@@ -60,6 +79,6 @@ lint:
 	@echo "lint: OK (report in $(LINT_JSON))"
 
 # The one-stop gate: build everything, run the test suites, lint the
-# tree, and smoke-check the parallel pipelines.
-check: build test lint bench-smoke
+# tree, and smoke-check the parallel pipelines and the RTR simulator.
+check: build test lint bench-smoke sim-smoke
 	@echo "check: OK"

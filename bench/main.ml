@@ -13,12 +13,18 @@
                    Domain.recommended_domain_count; 1 = sequential)
      BENCH_ONLY    comma-separated subset of sections to run, among
                    section6, audit, table1, figure3, attack, compress,
-                   validate, ablation, micro (default: all)
+                   validate, rtr, ablation, micro (default: all)
      BENCH_JSON    output path for the machine-readable compression
                    benchmark (default BENCH_compress.json)
      BENCH_VALIDATE_JSON
                    output path for the machine-readable validation
-                   benchmark (default BENCH_validate.json) *)
+                   benchmark (default BENCH_validate.json)
+     BENCH_RTR_SEEDS
+                   seeds per fault policy for the RTR fault-injection
+                   sweep (default 50)
+     BENCH_RTR_JSON
+                   output path for the machine-readable RTR sweep
+                   (default BENCH_rtr.json) *)
 
 let getenv_float name default =
   match Sys.getenv_opt name with
@@ -44,6 +50,13 @@ let validate_json_path =
   match Sys.getenv_opt "BENCH_VALIDATE_JSON" with
   | Some p when p <> "" -> p
   | Some _ | None -> "BENCH_validate.json"
+
+let rtr_seeds = getenv_int "BENCH_RTR_SEEDS" 50
+
+let rtr_json_path =
+  match Sys.getenv_opt "BENCH_RTR_JSON" with
+  | Some p when p <> "" -> p
+  | Some _ | None -> "BENCH_rtr.json"
 
 let only_sections =
   match Sys.getenv_opt "BENCH_ONLY" with
@@ -367,6 +380,133 @@ let section_validate snap =
     exit 1
   end
 
+(* --- RTR fault-injection sweep (BENCH_rtr.json) --- *)
+
+(* The netsim acceptance sweep as a measured artifact: [rtr_seeds]
+   seeds per fault policy, each run checked against the convergence
+   invariant (every non-degraded router ends on the cache's exact
+   final VRP set, degradation is explicit), plus one replay per policy
+   proving the sweep is deterministic. *)
+
+type rtr_row = {
+  r_policy : string;
+  r_runs : int;
+  r_ok : int;
+  r_routers : int;
+  r_fresh : int; (* Fresh with the exact final set *)
+  r_stale : int;
+  r_degraded : int; (* Expired / No_data: explicit degraded mode *)
+  r_reconnects : int;
+  r_framer_errors : int;
+  r_tainted : int; (* deliveries flagged as stream damage *)
+  r_events : int;
+  r_wall : float;
+  r_replay_ok : bool;
+}
+
+let bench_rtr_policy policy =
+  let module Sim = Netsim.Rtr_sim in
+  let module Fault = Netsim.Fault in
+  let ok = ref 0 and routers = ref 0 and fresh = ref 0 and stale = ref 0 in
+  let degraded = ref 0 and reconnects = ref 0 and framer_errors = ref 0 in
+  let tainted = ref 0 and events = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for s = 1 to rtr_seeds do
+    let r = Sim.run ~seed:s ~policy () in
+    if r.Sim.ok then incr ok;
+    framer_errors := !framer_errors + r.Sim.framer_errors;
+    tainted := !tainted + r.Sim.link.Netsim.Link.tainted;
+    events := !events + r.Sim.events;
+    List.iter
+      (fun o ->
+        incr routers;
+        reconnects := !reconnects + o.Sim.reconnects;
+        match o.Sim.freshness with
+        | Rtr.Router_client.Fresh when o.Sim.vrps_ok -> incr fresh
+        | Rtr.Router_client.Stale when o.Sim.vrps_ok -> incr stale
+        | Rtr.Router_client.Fresh | Rtr.Router_client.Stale ->
+          (* [Sim.ok] already failed for this run; count it degraded
+             so the fresh/stale columns stay truthful. *)
+          incr degraded
+        | Rtr.Router_client.Expired | Rtr.Router_client.No_data -> incr degraded)
+      r.Sim.outcomes
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let replay_ok =
+    let a = Sim.run ~seed:1 ~policy () in
+    let b = Sim.run ~seed:1 ~policy () in
+    String.equal a.Sim.fingerprint b.Sim.fingerprint
+  in
+  Printf.printf
+    "  %-12s %3d/%3d ok   routers: %3d fresh / %2d stale / %2d degraded   reconnects %4d   \
+     tainted %5d   %6.2f s   replay %s\n"
+    policy.Fault.name !ok rtr_seeds !fresh !stale !degraded !reconnects !tainted wall
+    (if replay_ok then "ok" else "DIVERGED");
+  { r_policy = policy.Fault.name;
+    r_runs = rtr_seeds;
+    r_ok = !ok;
+    r_routers = !routers;
+    r_fresh = !fresh;
+    r_stale = !stale;
+    r_degraded = !degraded;
+    r_reconnects = !reconnects;
+    r_framer_errors = !framer_errors;
+    r_tainted = !tainted;
+    r_events = !events;
+    r_wall = wall;
+    r_replay_ok = replay_ok }
+
+(* Same hand-rolled style as [write_bench_json]; schema documented in
+   README.md. *)
+let write_rtr_json path rows =
+  let all_ok = List.for_all (fun r -> r.r_ok = r.r_runs) rows in
+  let deterministic = List.for_all (fun r -> r.r_replay_ok) rows in
+  let buf = Buffer.create 2048 in
+  let spf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  spf "{\n";
+  spf "  \"schema\": \"rpki-maxlen/bench-rtr/v1\",\n";
+  spf "  \"seeds_per_policy\": %d,\n" rtr_seeds;
+  spf "  \"all_ok\": %b,\n" all_ok;
+  spf "  \"deterministic\": %b,\n" deterministic;
+  spf "  \"policies\": [\n";
+  List.iteri
+    (fun i r ->
+      spf "    {\n";
+      spf "      \"policy\": %S,\n" r.r_policy;
+      spf "      \"runs\": %d,\n" r.r_runs;
+      spf "      \"ok\": %d,\n" r.r_ok;
+      spf "      \"routers\": %d,\n" r.r_routers;
+      spf "      \"fresh\": %d,\n" r.r_fresh;
+      spf "      \"stale\": %d,\n" r.r_stale;
+      spf "      \"degraded\": %d,\n" r.r_degraded;
+      spf "      \"reconnects\": %d,\n" r.r_reconnects;
+      spf "      \"framer_errors\": %d,\n" r.r_framer_errors;
+      spf "      \"tainted_deliveries\": %d,\n" r.r_tainted;
+      spf "      \"events\": %d,\n" r.r_events;
+      spf "      \"wall_s\": %.6f,\n" r.r_wall;
+      spf "      \"replay_ok\": %b\n" r.r_replay_ok;
+      spf "    }%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  spf "  ]\n";
+  spf "}\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
+
+let section_rtr () =
+  banner
+    (Printf.sprintf "RTR fault-injection sweep (%d seeds x %d policies)" rtr_seeds
+       (List.length Netsim.Fault.all));
+  let rows = List.map bench_rtr_policy Netsim.Fault.all in
+  write_rtr_json rtr_json_path rows;
+  Printf.printf "  wrote %s\n" rtr_json_path;
+  if List.exists (fun r -> r.r_ok <> r.r_runs) rows then begin
+    prerr_endline "BENCH FAILURE: an RTR simulation violated the convergence invariant";
+    exit 1
+  end;
+  if List.exists (fun r -> not r.r_replay_ok) rows then begin
+    prerr_endline "BENCH FAILURE: an RTR simulation replay diverged (determinism lost)";
+    exit 1
+  end
+
 (* --- ablation: Strict vs Paper merge rule --- *)
 
 let ablation snap =
@@ -516,6 +656,7 @@ let () =
   section "attack" attack_eval;
   section "compress" (fun () -> section72 (Lazy.force snap));
   section "validate" (fun () -> section_validate (Lazy.force snap));
+  section "rtr" section_rtr;
   section "ablation" (fun () -> ablation (Lazy.force snap));
   section "micro" (fun () -> micro_benchmarks (Lazy.force snap));
   banner "Done"

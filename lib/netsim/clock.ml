@@ -1,0 +1,57 @@
+(* Events keyed by (time, sequence number): the map's order is the
+   execution order, and the sequence number makes same-time events
+   FIFO — the whole simulator's determinism rests on this ordering
+   being total and stable. *)
+module Q = Map.Make (struct
+  type t = int * int
+
+  let compare (t1, s1) (t2, s2) =
+    match Int.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+end)
+
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  mutable q : (unit -> unit) Q.t;
+  mutable executed : int;
+}
+
+let create () = { now = 0; seq = 0; q = Q.empty; executed = 0 }
+let now t = t.now
+
+let at t ~time f =
+  let time = if time < t.now then t.now else time in
+  t.seq <- t.seq + 1;
+  t.q <- Q.add (time, t.seq) f t.q
+
+let after t ~delay f = at t ~time:(t.now + max 0 delay) f
+
+let next_time t =
+  match Q.min_binding_opt t.q with
+  | Some ((time, _), _) -> Some time
+  | None -> None
+
+let run_next t =
+  match Q.min_binding_opt t.q with
+  | None -> false
+  | Some (((time, _) as key), f) ->
+    t.q <- Q.remove key t.q;
+    if time > t.now then t.now <- time;
+    t.executed <- t.executed + 1;
+    f ();
+    true
+
+let advance t time = if time > t.now then t.now <- time
+
+let run_until t time =
+  let rec go () =
+    match Q.min_binding_opt t.q with
+    | Some ((e, _), _) when e <= time ->
+      ignore (run_next t);
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  advance t time
+let pending t = Q.cardinal t.q
+let executed t = t.executed

@@ -1,0 +1,43 @@
+(** Virtual time and the discrete-event queue.
+
+    The simulator's heart: a monotone clock in virtual milliseconds
+    and a queue of [(time, callback)] events. Events at equal times
+    run in scheduling (FIFO) order, so a run is a pure function of the
+    schedule — no wall clock, no thread interleaving — which is what
+    makes every simulation replayable from its seed. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current virtual time (ms). Starts at 0. *)
+
+val at : t -> time:int -> (unit -> unit) -> unit
+(** Schedule a callback; times in the past are clamped to [now]. *)
+
+val after : t -> delay:int -> (unit -> unit) -> unit
+(** [at t ~time:(now t + max 0 delay)]. *)
+
+val next_time : t -> int option
+(** Time of the earliest pending event. *)
+
+val run_next : t -> bool
+(** Advance to the earliest event and run it (one event only); false
+    when the queue is empty. Callbacks may schedule further events. *)
+
+val advance : t -> int -> unit
+(** Move the clock forward to the given time without running anything
+    (no-op when not in the future). Used to reach timer deadlines that
+    fall in event-queue gaps. *)
+
+val run_until : t -> int -> unit
+(** Run every event due at or before the given time (including events
+    they schedule within the window), then leave the clock exactly
+    there. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val executed : t -> int
+(** Number of events run so far. *)

@@ -1,0 +1,146 @@
+type stats = {
+  writes : int;
+  chunks : int;
+  bytes : int;
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  truncated : int;
+  corrupted : int;
+  tainted : int;
+}
+
+type t = {
+  clock : Clock.t;
+  rng : Rng.t;
+  policy : Fault.t;
+  deliver : tainted:bool -> string -> unit;
+  conn_drop : unit -> unit;
+  mutable closed : bool;
+  mutable last_delivery : int; (* FIFO floor: a chunk never arrives before its predecessor *)
+  mutable dropping : bool; (* conn_drop fault already tripped *)
+  (* Stream-integrity bookkeeping (see the .mli on taint): chunks get
+     a sequence number at schedule time; a delivery is tainted once
+     any damage precedes it in sequence order, or when it arrives out
+     of order. *)
+  mutable next_seq : int;
+  mutable deliver_count : int;
+  mutable damage_from : int; (* first seq with damaged bytes; max_int = none *)
+  mutable damaged : bool; (* sticky: integrity lost for good *)
+  mutable s : stats;
+}
+
+let create ~clock ~rng ~policy ~deliver ~conn_drop =
+  { clock;
+    rng;
+    policy;
+    deliver;
+    conn_drop;
+    closed = false;
+    last_delivery = 0;
+    dropping = false;
+    next_seq = 0;
+    deliver_count = 0;
+    damage_from = max_int;
+    damaged = false;
+    s =
+      { writes = 0; chunks = 0; bytes = 0; delivered = 0; dropped = 0; duplicated = 0;
+        truncated = 0; corrupted = 0; tainted = 0 } }
+
+let closed t = t.closed
+let stats t = t.s
+let close t = t.closed <- true
+
+let mark_damage t seq = if seq < t.damage_from then t.damage_from <- seq
+
+let flip_byte t chunk =
+  let b = Bytes.of_string chunk in
+  let i = Rng.int t.rng (Bytes.length b) in
+  (* XOR with a non-zero mask guarantees the byte actually changes. *)
+  let mask = 1 + Rng.int t.rng 255 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+  Bytes.to_string b
+
+let schedule_delivery t ~seq chunk =
+  let p = t.policy in
+  let delay =
+    Rng.int_in t.rng p.Fault.delay_min (max p.Fault.delay_min p.Fault.delay_max)
+    + (if p.Fault.jitter > 0 then Rng.int_in t.rng 0 p.Fault.jitter else 0)
+  in
+  let time = Clock.now t.clock + max 1 delay in
+  let time = if p.Fault.fifo then max time t.last_delivery else time in
+  if p.Fault.fifo then t.last_delivery <- time;
+  Clock.at t.clock ~time (fun () ->
+      if not t.closed then begin
+        let tainted = t.damaged || seq >= t.damage_from || seq <> t.deliver_count in
+        if tainted then begin
+          t.damaged <- true;
+          t.s <- { t.s with tainted = t.s.tainted + 1 }
+        end;
+        t.deliver_count <- t.deliver_count + 1;
+        t.s <- { t.s with delivered = t.s.delivered + 1 };
+        t.deliver ~tainted chunk
+      end)
+
+let schedule_chunk t chunk =
+  let p = t.policy in
+  t.s <- { t.s with chunks = t.s.chunks + 1 };
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  if Rng.bernoulli t.rng p.Fault.drop then begin
+    (* The bytes vanish mid-stream: everything after them is damage. *)
+    t.s <- { t.s with dropped = t.s.dropped + 1 };
+    mark_damage t seq
+  end
+  else begin
+    let chunk =
+      if Rng.bernoulli t.rng p.Fault.truncate && String.length chunk > 1 then begin
+        t.s <- { t.s with truncated = t.s.truncated + 1 };
+        mark_damage t seq;
+        String.sub chunk 0 (1 + Rng.int t.rng (String.length chunk - 1))
+      end
+      else chunk
+    in
+    let chunk =
+      if Rng.bernoulli t.rng p.Fault.corrupt then begin
+        t.s <- { t.s with corrupted = t.s.corrupted + 1 };
+        mark_damage t seq;
+        flip_byte t chunk
+      end
+      else chunk
+    in
+    schedule_delivery t ~seq chunk;
+    if Rng.bernoulli t.rng p.Fault.duplicate then begin
+      (* The surplus copy re-injects bytes the stream already carried. *)
+      t.s <- { t.s with duplicated = t.s.duplicated + 1 };
+      let seq' = t.next_seq in
+      t.next_seq <- t.next_seq + 1;
+      mark_damage t seq';
+      schedule_delivery t ~seq:seq' chunk
+    end
+  end
+
+let send t data =
+  if (not t.closed) && String.length data > 0 then begin
+    t.s <- { t.s with writes = t.s.writes + 1; bytes = t.s.bytes + String.length data };
+    (* The connection-drop fault is evaluated once per write: the
+       write itself is lost with the connection. *)
+    if (not t.dropping) && Rng.bernoulli t.rng t.policy.Fault.conn_drop then begin
+      t.dropping <- true;
+      t.conn_drop ()
+    end
+    else begin
+      let n = String.length data in
+      let off = ref 0 in
+      while !off < n do
+        let size =
+          min (n - !off)
+            (Rng.int_in t.rng
+               (max 1 t.policy.Fault.chunk_min)
+               (max 1 t.policy.Fault.chunk_max))
+        in
+        schedule_chunk t (String.sub data !off size);
+        off := !off + size
+      done
+    end
+  end

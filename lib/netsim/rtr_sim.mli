@@ -1,0 +1,77 @@
+(** Fault-injected RTR deployments: one cache, N routers, hostile links.
+
+    Builds the full stack — [Rtr.Cache_server] and [Rtr.Router_client]
+    joined by {!Link}s that re-chunk, delay, reorder, duplicate,
+    truncate, corrupt and drop, with a fresh [Rtr.Framer] pair per
+    connection incarnation — and runs a scripted sequence of VRP
+    publications against it on the virtual {!Clock}.
+
+    Everything is derived from one integer seed through split
+    {!Rng} streams, so a run is replayable bit-for-bit: same seed and
+    policy, same {!Trace} fingerprint, same outcomes.
+
+    The correctness contract a run is judged against (the acceptance
+    sweep): when the simulation ends, every router whose data has not
+    expired holds exactly the cache's current VRP set; routers that
+    could not sync within the expire interval are in an explicit
+    degraded state ([Expired], or [No_data] if they never completed a
+    first sync); and nothing anywhere raised. *)
+
+type config = {
+  routers : int;  (** Router count (default 4). *)
+  updates : int;  (** Scripted VRP publications (default 20). *)
+  update_gap : int;  (** ms between publications (default 400). *)
+  max_vrps_per_update : int;  (** Set size cap per publication (default 12). *)
+  refresh_s : int;  (** Cache-advertised refresh interval, seconds (default 3). *)
+  retry_s : int;  (** Advertised retry interval, seconds (default 2). *)
+  expire_s : int;  (** Advertised expire interval, seconds (default 20). *)
+  settle : int;
+      (** ms of simulated time after the last publication (default
+          26_000 — longer than the expire interval plus the worst
+          exchange duration, so by the end every router has either
+          re-synced onto the final set or demonstrably expired). *)
+  initial_serial : int32;
+      (** The cache's starting serial (default [0xFFFF_FFF0]: with 20
+          updates every default run crosses the RFC 1982 serial wrap,
+          so the sweep is a standing wraparound regression). *)
+}
+
+val default_config : config
+
+type router_outcome = {
+  router : int;
+  freshness : Rtr.Router_client.freshness;
+  synced : bool;  (** Settled (no exchange in flight) at end time. *)
+  vrps_ok : bool;  (** Installed set equals the cache's current set. *)
+  serial : int32 option;
+  reconnects : int;  (** Connection incarnations beyond the first. *)
+  client : Rtr.Router_client.stats;
+}
+
+type report = {
+  seed : int;
+  policy : string;
+  ok : bool;
+      (** The acceptance predicate: every router is either degraded
+          ([Expired] / [No_data]) or holds the cache's current set. *)
+  outcomes : router_outcome list;
+  publishes : int;  (** Serial-bumping updates (no-op updates excluded). *)
+  final_serial : int32;
+  end_time : int;  (** Virtual ms simulated. *)
+  events : int;  (** Clock events executed. *)
+  converged_at : int option;
+      (** Earliest virtual time by which every eventually-converged
+          router already held the final set. *)
+  link : Link.stats;  (** Both directions, all connection incarnations. *)
+  framer_errors : int;
+  trace_events : int;
+  fingerprint : string;  (** {!Trace.fingerprint} — the determinism witness. *)
+  trace : string;  (** Full event trace, for debugging a failing seed. *)
+}
+
+val run : ?config:config -> seed:int -> policy:Fault.t -> unit -> report
+(** Simulate one deployment. Total: never raises, whatever the policy
+    does to the wire. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One-line summary (no trace). *)

@@ -1,0 +1,29 @@
+(* FNV-1a, folded incrementally so the fingerprint is O(1) at the end.
+   Deliberately not Hashtbl.hash: the fingerprint is part of the
+   determinism contract and must not depend on stdlib internals. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+type t = {
+  buf : Buffer.t;
+  mutable count : int;
+  mutable hash : int64;
+}
+
+let create () = { buf = Buffer.create 4096; count = 0; hash = fnv_offset }
+
+let mix t line =
+  String.iter
+    (fun c ->
+      t.hash <- Int64.mul (Int64.logxor t.hash (Int64.of_int (Char.code c))) fnv_prime)
+    line
+
+let record t ~time event =
+  let line = Printf.sprintf "t=%d %s\n" time event in
+  Buffer.add_string t.buf line;
+  mix t line;
+  t.count <- t.count + 1
+
+let count t = t.count
+let to_string t = Buffer.contents t.buf
+let fingerprint t = Printf.sprintf "%016Lx" t.hash

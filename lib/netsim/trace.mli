@@ -1,0 +1,24 @@
+(** The simulation event trace.
+
+    Every notable event (connects, drops, framer errors, syncs,
+    publishes) is recorded as a timestamped line. The trace serves two
+    purposes: human debugging of a failed seed ({!to_string}) and the
+    determinism contract — two runs with the same seed must produce
+    byte-identical traces, checked cheaply via {!fingerprint}
+    (64-bit FNV-1a, hex). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:int -> string -> unit
+(** Append one event line at the given virtual time. *)
+
+val count : t -> int
+(** Events recorded. *)
+
+val to_string : t -> string
+(** The full trace, one "t=<ms> <event>" line per event. *)
+
+val fingerprint : t -> string
+(** FNV-1a 64 of the trace contents, as 16 hex digits. *)

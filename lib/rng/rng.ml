@@ -30,6 +30,14 @@ let int t bound =
      negligible for simulation purposes. *)
   Int64.to_int (Int64.rem (Int64.logand (int64 t) Int64.max_int) (Int64.of_int bound))
 
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let bytes t n =
+  if n < 0 then invalid_arg "Rng.bytes: negative length";
+  String.init n (fun _ -> Char.chr (int t 256))
+
 let float t =
   Int64.to_float (Int64.shift_right_logical (int64 t) 11) *. (1.0 /. 9007199254740992.0)
 

@@ -25,6 +25,15 @@ val int : t -> int -> int
 (** [int t bound] is uniform in [0, bound). @raise Invalid_argument
     when [bound <= 0]. *)
 
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi], inclusive on both ends.
+    @raise Invalid_argument when [hi < lo]. *)
+
+val bytes : t -> int -> string
+(** [bytes t n] is an [n]-byte string of uniform bytes — fault
+    injection's corruption payloads. @raise Invalid_argument when
+    [n < 0]. *)
+
 val float : t -> float
 (** Uniform in [0, 1). *)
 

@@ -8,6 +8,9 @@ type delta = { announced : Vset.t; withdrawn : Vset.t }
 type t = {
   session_id : int;
   history_limit : int;
+  refresh_interval : int32;
+  retry_interval : int32;
+  expire_interval : int32;
   mutable serial : int32;
   mutable current : Vset.t;
   mutable history : (int32 * delta) list; (* newest first *)
@@ -17,8 +20,11 @@ let default_refresh = 3600l
 let default_retry = 600l
 let default_expire = 7200l
 
-let create ?(session_id = 0x5eed) ?(history_limit = 16) vrps =
-  { session_id; history_limit; serial = 0l; current = Vset.of_list vrps; history = [] }
+let create ?(session_id = 0x5eed) ?(history_limit = 16) ?(initial_serial = 0l)
+    ?(refresh_interval = default_refresh) ?(retry_interval = default_retry)
+    ?(expire_interval = default_expire) vrps =
+  { session_id; history_limit; refresh_interval; retry_interval; expire_interval;
+    serial = initial_serial; current = Vset.of_list vrps; history = [] }
 
 let session_id t = t.session_id
 let serial t = t.serial
@@ -30,7 +36,7 @@ let update t vrps =
   else begin
     let announced = Vset.diff next t.current in
     let withdrawn = Vset.diff t.current next in
-    t.serial <- Int32.add t.serial 1l;
+    t.serial <- Serial.succ t.serial;
     t.current <- next;
     t.history <- (t.serial, { announced; withdrawn }) :: t.history;
     if List.length t.history > t.history_limit then
@@ -39,20 +45,22 @@ let update t vrps =
   end
 
 (* The VRP set the cache held at serial [s], or None when [s] has been
-   evicted from history (or never existed). *)
+   evicted from history (or never existed). All comparisons are RFC
+   1982 serial arithmetic: the history spans at most [history_limit]
+   consecutive serials, far below the half circle, so the ordering is
+   well defined even across the 0xFFFFFFFF -> 0 wrap. *)
 let state_at t s =
-  if Int32.compare s t.serial > 0 then None
-  else if Int32.equal s t.serial then Some t.current
+  if Serial.gt s t.serial then None
+  else if Serial.equal s t.serial then Some t.current
   else
     let rec roll_back state = function
       | [] ->
         (* All retained deltas inverted: [state] is the oldest
            reconstructable serial. *)
-        if Int32.equal s (Int32.sub t.serial (Int32.of_int (List.length t.history))) then
-          Some state
+        if Serial.equal s (Serial.add t.serial (-List.length t.history)) then Some state
         else None
       | (serial_of_delta, d) :: rest ->
-        if Int32.compare serial_of_delta s <= 0 then Some state
+        if Serial.leq serial_of_delta s then Some state
         else roll_back (Vset.union (Vset.diff state d.announced) d.withdrawn) rest
     in
     roll_back t.current t.history
@@ -61,9 +69,9 @@ let end_of_data t =
   Pdu.End_of_data
     { session_id = t.session_id;
       serial = t.serial;
-      refresh_interval = default_refresh;
-      retry_interval = default_retry;
-      expire_interval = default_expire }
+      refresh_interval = t.refresh_interval;
+      retry_interval = t.retry_interval;
+      expire_interval = t.expire_interval }
 
 let response_of_diff t ~announce ~withdraw =
   Pdu.Cache_response { session_id = t.session_id }
@@ -82,6 +90,11 @@ let handle t query =
        | Some old_state ->
          response_of_diff t ~announce:(Vset.diff t.current old_state)
            ~withdraw:(Vset.diff old_state t.current))
+  | Pdu.Error_report _ ->
+    (* RFC 8210 §5.11: never answer an Error Report with an Error
+       Report. The error is terminal for the connection; the transport
+       layer tears it down, the cache sends nothing. *)
+    []
   | other ->
     [ Pdu.Error_report
         { code = Pdu.Invalid_request;

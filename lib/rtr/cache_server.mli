@@ -1,16 +1,29 @@
 (** The cache side of the RPKI-to-Router protocol.
 
     Holds the current validated VRP set, a monotonically increasing
-    serial, and a bounded history of per-serial deltas so routers can
-    sync incrementally with Serial Query; a query too far in the past
-    gets a Cache Reset, forcing the router to start over (RFC 8210 §5
-    and §8). *)
+    serial (RFC 1982 arithmetic — it wraps from [0xFFFFFFFF] to [0]
+    without forcing a reset), and a bounded history of per-serial
+    deltas so routers can sync incrementally with Serial Query; a
+    query too far in the past gets a Cache Reset, forcing the router
+    to start over (RFC 8210 §5 and §8). *)
 
 type t
 
-val create : ?session_id:int -> ?history_limit:int -> Rpki.Vrp.t list -> t
-(** A cache whose serial 0 state is the given VRP set.
-    [history_limit] bounds how many past deltas are kept (default 16). *)
+val create :
+  ?session_id:int ->
+  ?history_limit:int ->
+  ?initial_serial:int32 ->
+  ?refresh_interval:int32 ->
+  ?retry_interval:int32 ->
+  ?expire_interval:int32 ->
+  Rpki.Vrp.t list ->
+  t
+(** A cache whose starting state is the given VRP set at
+    [initial_serial] (default 0 — nonzero values exist for wraparound
+    tests and for resuming a persisted cache). [history_limit] bounds
+    how many past deltas are kept (default 16). The three intervals
+    (seconds) are advertised to routers in every End of Data PDU;
+    defaults are RFC 8210's suggested 3600/600/7200. *)
 
 val session_id : t -> int
 val serial : t -> int32
@@ -29,4 +42,6 @@ val handle : t -> Pdu.t -> Pdu.t list
     - [Serial Query] at this serial → empty delta response;
     - [Serial Query] for an unknown session or evicted serial →
       Cache Reset;
+    - [Error Report] → nothing (§5.11 forbids answering an error with
+      an error; the transport should drop the connection);
     - anything else → Error Report (Invalid Request). *)

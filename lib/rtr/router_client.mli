@@ -1,31 +1,104 @@
 (** The router side of the RPKI-to-Router protocol.
 
-    Maintains the router's copy of the cache's VRP list through the
-    RFC 8210 state machine: initial Reset Query, incremental Serial
-    Query on Serial Notify, full resync on Cache Reset or session-id
-    change. Feed it every PDU that arrives from the cache with
-    {!receive}; send whatever {!pending} returns back to the cache. *)
+    A transport-agnostic, timer-driven state machine (RFC 8210 §6 and
+    §8). The transport — [Rtr.Session]'s perfect in-memory link, or
+    [Netsim.Rtr_sim]'s fault-injected one — drives it with five
+    inputs, all taking the current virtual time in milliseconds:
+
+    - {!connected} / {!disconnected}: the connection came up / went
+      down. On connect the client opens an exchange (incremental
+      Serial Query when it holds a (session, serial) pair, Reset Query
+      otherwise); on disconnect it schedules a reconnect with
+      exponential backoff, capped by the cache-advertised retry
+      interval.
+    - {!receive}: one decoded PDU from the cache. Total — protocol
+      violations never raise. They are reported in the [Error] return
+      for observability, but the machine has already queued an Error
+      Report PDU and requested a reconnect ({!want_disconnect}).
+    - {!tick}: let timers fire — the refresh interval re-opens an
+      exchange, the response timeout declares a silent exchange dead.
+    - {!pending}: drain the PDUs the client wants sent.
+
+    Data freshness follows the End of Data intervals: younger than the
+    refresh interval is [Fresh], then [Stale], and past the expire
+    interval the data is [Expired] — an explicit degraded mode
+    ({!usable} turns false) rather than an exception. *)
 
 type t
 
-val create : unit -> t
+type freshness = No_data | Fresh | Stale | Expired
+
+type stats = {
+  syncs : int;  (** Completed exchanges (End of Data received). *)
+  full_resyncs : int;  (** Reset Query fallbacks (Cache Reset / session change). *)
+  violations : int;  (** Protocol violations by the cache. *)
+  timeouts : int;  (** Exchanges declared dead by the response timeout. *)
+  disconnects : int;  (** Connection teardowns observed. *)
+}
+
+val create : ?initial_backoff:int -> ?max_backoff:int -> ?response_timeout:int -> unit -> t
+(** All durations in milliseconds. Backoff starts at [initial_backoff]
+    (default 500), doubles per failed connection up to [max_backoff]
+    (default 8000), and resets on a clean sync. [response_timeout]
+    (default 5000) bounds the silence tolerated mid-exchange. *)
 
 val vrps : t -> Rpki.Vrp.Set.t
-(** The router's installed VRPs — empty until the first sync ends. *)
+(** The router's installed VRPs — empty until the first sync ends,
+    retained (but flagged by {!freshness}) across reconnects. *)
 
 val serial : t -> int32 option
 (** Serial of the last completed sync. *)
 
 val synced : t -> bool
-(** True when not mid-transfer. *)
+(** True when connected with no exchange in flight. *)
 
-val receive : t -> Pdu.t -> (unit, string) result
-(** Process one PDU from the cache. Errors are protocol violations
+val is_connected : t -> bool
+
+val freshness : t -> now:int -> freshness
+val usable : t -> now:int -> bool
+(** [Fresh | Stale] — RFC 8210 §6 allows routing on data up to the
+    expire interval; past it the router must stop trusting the set. *)
+
+val connected : t -> now:int -> unit
+(** The transport established a connection; the client queues its
+    resume query. *)
+
+val disconnected : t -> now:int -> unit
+(** The transport lost (or tore down) the connection; half-finished
+    state is dropped and a reconnect is scheduled ({!reconnect_at}). *)
+
+val want_disconnect : t -> bool
+(** The client asks the transport to tear the connection down (corrupt
+    exchange, error report, response timeout). Cleared by
+    {!disconnected} / {!connected}. *)
+
+val reconnect_at : t -> int option
+(** When down: the virtual time at which the transport should redial. *)
+
+val poisoned : t -> unit
+(** The transport detected stream damage around a commit (the RTR
+    protocol has no integrity check of its own — RFC 8210 leans on
+    the transport for that). The committed data can no longer be
+    trusted: {!freshness} reads [Expired] (an explicit degraded mode)
+    and the resume state is dropped, so the next connection performs a
+    full reload — the only thing that clears the suspicion. *)
+
+val receive : t -> now:int -> Pdu.t -> (unit, string) result
+(** Process one PDU from the cache. [Error] marks a protocol violation
     (e.g. a Prefix PDU outside a Cache Response, a duplicate announce,
-    or a withdrawal of an unknown record — RFC 8210 §5.11). *)
+    or a withdrawal of an unknown record — RFC 8210 §5.11); recovery
+    is already scheduled, the caller needs only to honour
+    {!want_disconnect}. *)
+
+val tick : t -> now:int -> unit
+(** Fire due timers. Call at (or after) {!next_wakeup}. *)
+
+val next_wakeup : t -> int option
+(** The next virtual time at which {!tick} (or a reconnect) has work:
+    the reconnect time when down, the response deadline mid-exchange,
+    the refresh time when settled. *)
 
 val pending : t -> Pdu.t list
-(** Queries the router wants to send; calling it drains the queue. *)
+(** PDUs the router wants to send; calling it drains the queue. *)
 
-val start : t -> unit
-(** Begin the initial synchronization (enqueues a Reset Query). *)
+val stats : t -> stats

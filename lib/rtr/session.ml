@@ -8,6 +8,11 @@ let cache t = t.cache
 let routers t = t.routers
 let bytes_on_wire t = t.bytes
 
+(* The perfect link never advances time: timers exist for the
+   fault-injected transport (Netsim.Rtr_sim); here every exchange
+   completes instantaneously at t=0. *)
+let now = 0
+
 (* Move a PDU across the link through its wire encoding. *)
 let transcode t pdu =
   let wire = Pdu.encode pdu in
@@ -30,7 +35,7 @@ let pump t =
             let responses = Cache_server.handle t.cache (transcode t q) in
             List.iter
               (fun r ->
-                match Router_client.receive router (transcode t r) with
+                match Router_client.receive router ~now (transcode t r) with
                 | Ok () -> ()
                 | Error e -> failwith ("Rtr.Session: router rejected PDU: " ^ e))
               responses)
@@ -41,7 +46,7 @@ let pump t =
 let broadcast t pdu =
   List.iter
     (fun router ->
-      match Router_client.receive router (transcode t pdu) with
+      match Router_client.receive router ~now (transcode t pdu) with
       | Ok () -> ()
       | Error e -> failwith ("Rtr.Session: router rejected notify: " ^ e))
     t.routers
@@ -49,7 +54,7 @@ let broadcast t pdu =
 let connect cache n =
   let routers = List.init n (fun _ -> Router_client.create ()) in
   let t = { cache; routers; bytes = 0 } in
-  List.iter Router_client.start routers;
+  List.iter (fun r -> Router_client.connected r ~now) routers;
   pump t;
   t
 

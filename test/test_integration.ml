@@ -162,7 +162,7 @@ let test_local_cache_runtime () =
   (* Deliver the notify by querying: the Session helper pumps queries,
      so nudge the router with the notify PDU. *)
   (match
-     Rtr.Router_client.receive router
+     Rtr.Router_client.receive router ~now:0
        (Rtr.Pdu.Serial_notify
           { session_id = Rtr.Cache_server.session_id (Mlcore.Local_cache.server cache);
             serial = stats.Mlcore.Local_cache.serial })

@@ -297,7 +297,7 @@ let test_router_recovers_from_cache_reset () =
      history window; the next sync forces a reset + full reload. *)
   ignore (Cache.update cache []);
   ignore (Cache.update cache vrps2);
-  (match Router.receive router (Pdu.Serial_notify { session_id = Cache.session_id cache; serial = Cache.serial cache }) with
+  (match Router.receive router ~now:0 (Pdu.Serial_notify { session_id = Cache.session_id cache; serial = Cache.serial cache }) with
    | Ok () -> ()
    | Error e -> Alcotest.fail e);
   Rtr.Session.pump session;
@@ -306,26 +306,36 @@ let test_router_recovers_from_cache_reset () =
 
 let test_protocol_violations () =
   let r = Router.create () in
-  (match Router.receive r (Pdu.Prefix { flags = Pdu.Announce; vrp = List.hd vrps1 }) with
+  (match Router.receive r ~now:0 (Pdu.Prefix { flags = Pdu.Announce; vrp = List.hd vrps1 }) with
    | Error _ -> ()
-   | Ok () -> Alcotest.fail "prefix outside transfer accepted");
-  (match Router.receive r Pdu.Reset_query with
+   | Ok () -> Alcotest.fail "prefix without a connection accepted");
+  Router.connected r ~now:0;
+  (match Router.receive r ~now:0 Pdu.Reset_query with
    | Error _ -> ()
    | Ok () -> Alcotest.fail "query accepted by router");
-  (* Duplicate announce within one transfer. *)
-  Router.start r;
+  (* The violation aborts the exchange; reconnect and try a clean one. *)
+  Router.disconnected r ~now:0;
+  Router.connected r ~now:1;
   ignore (Router.pending r);
-  (match Router.receive r (Pdu.Cache_response { session_id = 1 }) with
+  (match Router.receive r ~now:1 (Pdu.Cache_response { session_id = 1 }) with
    | Ok () -> ()
    | Error e -> Alcotest.fail e);
-  (match Router.receive r (Pdu.Prefix { flags = Pdu.Announce; vrp = List.hd vrps1 }) with
+  (match Router.receive r ~now:1 (Pdu.Prefix { flags = Pdu.Announce; vrp = List.hd vrps1 }) with
    | Ok () -> ()
    | Error e -> Alcotest.fail e);
-  (match Router.receive r (Pdu.Prefix { flags = Pdu.Announce; vrp = List.hd vrps1 }) with
+  (* Duplicate announce within one transfer. *)
+  (match Router.receive r ~now:1 (Pdu.Prefix { flags = Pdu.Announce; vrp = List.hd vrps1 }) with
    | Error _ -> ()
    | Ok () -> Alcotest.fail "duplicate announce accepted");
-  (* Withdrawal of an unknown record. *)
-  match Router.receive r (Pdu.Prefix { flags = Pdu.Withdraw; vrp = List.nth vrps1 2 }) with
+  Alcotest.(check bool) "violation requests disconnect" true (Router.want_disconnect r);
+  (* Withdrawal of an unknown record, on a fresh exchange. *)
+  Router.disconnected r ~now:2;
+  Router.connected r ~now:3;
+  ignore (Router.pending r);
+  (match Router.receive r ~now:3 (Pdu.Cache_response { session_id = 1 }) with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  match Router.receive r ~now:3 (Pdu.Prefix { flags = Pdu.Withdraw; vrp = List.nth vrps1 2 }) with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "unknown withdrawal accepted"
 
@@ -343,27 +353,131 @@ let prop_sync_reaches_cache_state =
       let router = List.hd (Rtr.Session.routers session) in
       Router.synced router && Vset.equal (Router.vrps router) (Cache.vrps cache))
 
-let prop_pdu_roundtrip =
-  let gen_pdu =
-    let open QCheck2.Gen in
+(* Covers every PDU type, both address families (via
+   [Testutil.gen_vrp]), serials across the whole 32-bit circle, and
+   error reports from empty to sizeable payloads. *)
+let gen_pdu =
+  let open QCheck2.Gen in
+  let gen_serial =
     oneof
-      [ map2 (fun s n -> Pdu.Serial_notify { session_id = s; serial = Int32.of_int n }) (int_bound 0xffff) int;
-        map2 (fun s n -> Pdu.Serial_query { session_id = s; serial = Int32.of_int n }) (int_bound 0xffff) int;
-        return Pdu.Reset_query;
-        return Pdu.Cache_reset;
-        map (fun s -> Pdu.Cache_response { session_id = s }) (int_bound 0xffff);
-        map2
-          (fun announce vrp -> Pdu.Prefix { flags = (if announce then Pdu.Announce else Pdu.Withdraw); vrp })
-          bool Testutil.gen_vrp;
-        map2
-          (fun code (pdu_bytes, msg) -> Pdu.Error_report { code; erroneous_pdu = pdu_bytes; message = msg })
-          (oneofl [ Pdu.Corrupt_data; Pdu.Internal_error; Pdu.Invalid_request; Pdu.Unsupported_pdu_type ])
-          (pair (string_size (int_bound 30)) (string_size (int_bound 30))) ]
+      [ map Int32.of_int (int_bound 0xffff);
+        oneofl [ 0l; 1l; Int32.max_int; Int32.min_int; -1l; -2l; 0x7fffffffl; 0x80000000l ] ]
   in
-  QCheck2.Test.make ~name:"PDU encode/decode roundtrip" ~count:500 gen_pdu (fun x ->
+  let gen_interval = map Int32.of_int (int_bound 86400) in
+  oneof
+    [ map2 (fun s n -> Pdu.Serial_notify { session_id = s; serial = n }) (int_bound 0xffff) gen_serial;
+      map2 (fun s n -> Pdu.Serial_query { session_id = s; serial = n }) (int_bound 0xffff) gen_serial;
+      return Pdu.Reset_query;
+      return Pdu.Cache_reset;
+      map (fun s -> Pdu.Cache_response { session_id = s }) (int_bound 0xffff);
+      map2
+        (fun announce vrp -> Pdu.Prefix { flags = (if announce then Pdu.Announce else Pdu.Withdraw); vrp })
+        bool Testutil.gen_vrp;
+      map3
+        (fun s serial (refresh_interval, retry_interval, expire_interval) ->
+          Pdu.End_of_data
+            { session_id = s; serial; refresh_interval; retry_interval; expire_interval })
+        (int_bound 0xffff) gen_serial
+        (triple gen_interval gen_interval gen_interval);
+      map2
+        (fun code (pdu_bytes, msg) -> Pdu.Error_report { code; erroneous_pdu = pdu_bytes; message = msg })
+        (oneofl
+           [ Pdu.Corrupt_data; Pdu.Internal_error; Pdu.No_data_available; Pdu.Invalid_request;
+             Pdu.Unsupported_protocol_version; Pdu.Unsupported_pdu_type; Pdu.Withdrawal_of_unknown_record;
+             Pdu.Duplicate_announcement_received ])
+        (pair
+           (oneof [ return ""; string_size (int_bound 30); string_size (return 512) ])
+           (oneof [ return ""; string_size (int_bound 30); string_size (return 512) ])) ]
+
+let prop_pdu_roundtrip =
+  QCheck2.Test.make ~name:"PDU encode/decode roundtrip" ~count:1000 gen_pdu (fun x ->
       match Pdu.decode (Pdu.encode x) 0 with
-      | Ok (y, _) -> Pdu.equal x y
+      | Ok (y, off) -> Pdu.equal x y && off = String.length (Pdu.encode x)
       | Error _ -> false)
+
+let test_error_report_extremes () =
+  (* Zero-length and near-framer-bound error reports round-trip, both
+     through the raw decoder and through the framer. *)
+  let big = String.make 65536 '\xab' in
+  List.iter
+    (fun x ->
+      let wire = Pdu.encode x in
+      (match Pdu.decode wire 0 with
+       | Ok (y, off) ->
+         Alcotest.check pdu "raw roundtrip" x y;
+         Alcotest.(check int) "consumed" (String.length wire) off
+       | Error e -> Alcotest.failf "decode failed: %s" e);
+      let f = Rtr.Framer.create () in
+      match Rtr.Framer.feed f wire with
+      | Ok [ y ] -> Alcotest.check pdu "framed roundtrip" x y
+      | Ok l -> Alcotest.failf "framer returned %d PDUs" (List.length l)
+      | Error e -> Alcotest.failf "framer failed: %s" e)
+    [ Pdu.Error_report { code = Pdu.No_data_available; erroneous_pdu = ""; message = "" };
+      Pdu.Error_report { code = Pdu.Corrupt_data; erroneous_pdu = big; message = "" };
+      Pdu.Error_report { code = Pdu.Corrupt_data; erroneous_pdu = ""; message = big };
+      Pdu.Error_report { code = Pdu.Internal_error; erroneous_pdu = big; message = big } ]
+
+(* --- framer robustness (satellite: any re-chunking, any damage) --- *)
+
+let prop_framer_rechunk_equivalence =
+  (* Feeding a valid stream in ANY chunking yields the same PDU list
+     as decoding it whole. *)
+  let open QCheck2 in
+  Test.make ~name:"framer is chunking-invariant on valid streams" ~count:200
+    Gen.(pair (list_size (int_range 1 12) gen_pdu) (int_range 0 10000))
+    (fun (pdus, salt) ->
+      let wire = String.concat "" (List.map Pdu.encode pdus) in
+      let rng = Rng.create salt in
+      let f = Rtr.Framer.create () in
+      let got = ref [] in
+      let off = ref 0 in
+      let ok = ref true in
+      while !ok && !off < String.length wire do
+        let len = min (1 + Rng.int rng 64) (String.length wire - !off) in
+        (match Rtr.Framer.feed f (String.sub wire !off len) with
+         | Ok out -> got := List.rev_append out !got
+         | Error _ -> ok := false);
+        off := !off + len
+      done;
+      !ok && List.equal Pdu.equal pdus (List.rev !got) && Rtr.Framer.pending_bytes f = 0)
+
+let prop_framer_never_raises =
+  (* Truncated or corrupted streams produce a terminal framer error or
+     a short PDU list — never an exception. *)
+  let open QCheck2 in
+  Test.make ~name:"damaged streams never raise; errors are terminal" ~count:300
+    Gen.(pair (list_size (int_range 1 8) gen_pdu) (int_range 0 100000))
+    (fun (pdus, salt) ->
+      let rng = Rng.create salt in
+      let wire =
+        let w = String.concat "" (List.map Pdu.encode pdus) in
+        let b = Bytes.of_string w in
+        (* Corrupt a few bytes, then maybe truncate. *)
+        for _ = 1 to 1 + Rng.int rng 4 do
+          Bytes.set b (Rng.int rng (Bytes.length b)) (Char.chr (Rng.int rng 256))
+        done;
+        let w = Bytes.to_string b in
+        if Rng.bool rng then String.sub w 0 (Rng.int rng (String.length w + 1)) else w
+      in
+      let f = Rtr.Framer.create () in
+      let saw_error = ref false in
+      let off = ref 0 in
+      while !off < String.length wire do
+        let len = min (1 + Rng.int rng 32) (String.length wire - !off) in
+        (match Rtr.Framer.feed f (String.sub wire !off len) with
+         | Ok _ -> ()
+         | Error _ -> saw_error := true);
+        off := !off + len
+      done;
+      (* Once failed, always failed — and a fresh framer (the reconnect
+         path) accepts a clean stream again. *)
+      (if !saw_error then
+         match Rtr.Framer.feed f (Pdu.encode Pdu.Reset_query) with
+         | Ok _ -> QCheck2.Test.fail_report "framer accepted input after terminal error"
+         | Error _ -> ());
+      match Rtr.Framer.feed (Rtr.Framer.create ()) (Pdu.encode Pdu.Reset_query) with
+      | Ok [ Pdu.Reset_query ] -> true
+      | Ok _ | Error _ -> false)
 
 let () =
   Alcotest.run "rtr"
@@ -378,7 +492,8 @@ let () =
           Alcotest.test_case "random chunks" `Quick test_framer_random_chunks;
           Alcotest.test_case "empty and partial chunks" `Quick test_framer_empty_chunks;
           Alcotest.test_case "terminal error" `Quick test_framer_terminal_error;
-          Alcotest.test_case "oversized PDU" `Quick test_framer_oversized_pdu ] );
+          Alcotest.test_case "oversized PDU" `Quick test_framer_oversized_pdu;
+          Alcotest.test_case "error report extremes" `Quick test_error_report_extremes ] );
       ( "session",
         [ Alcotest.test_case "initial sync" `Quick test_initial_sync;
           Alcotest.test_case "incremental update" `Quick test_incremental_update;
@@ -392,4 +507,5 @@ let () =
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_sync_reaches_cache_state; prop_pdu_roundtrip;
-            prop_cache_answers_every_retained_serial ] ) ]
+            prop_cache_answers_every_retained_serial; prop_framer_rechunk_equivalence;
+            prop_framer_never_raises ] ) ]

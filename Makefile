@@ -10,8 +10,10 @@
 SMOKE_JSON := BENCH_smoke.json
 VALIDATE_SMOKE_JSON := BENCH_validate_smoke.json
 SIM_SMOKE_JSON := BENCH_rtr_smoke.json
+FANOUT_SMOKE_JSON := BENCH_rtr_fanout_smoke.json
 
-.PHONY: build test lint check bench bench-smoke bench-validate-smoke sim-smoke clean
+.PHONY: build test lint check bench bench-smoke bench-validate-smoke sim-smoke \
+	bench-fanout-smoke clean
 
 build:
 	dune build
@@ -65,10 +67,28 @@ sim-smoke:
 		{ echo "sim-smoke: replay diverged"; exit 1; }
 	@echo "sim-smoke: OK"
 
+# Encode-once smoke: one reduced fan-out run (1k sessions, mixed fault
+# policies) must hold the one-delta-encode-per-publish invariant and
+# end with >=90% of the fleet Fresh. The bench exits non-zero on
+# either violation; the greps double-check the recorded verdict.
+bench-fanout-smoke:
+	rm -f $(FANOUT_SMOKE_JSON)
+	BENCH_ONLY=fanout BENCH_FANOUT_SESSIONS=1000 \
+		BENCH_FANOUT_JSON=$(FANOUT_SMOKE_JSON) \
+		dune exec bench/main.exe
+	@test -f $(FANOUT_SMOKE_JSON) || \
+		{ echo "bench-fanout-smoke: $(FANOUT_SMOKE_JSON) missing"; exit 1; }
+	@grep -q '"schema": "rpki-maxlen/bench-rtr-fanout/v1"' $(FANOUT_SMOKE_JSON) || \
+		{ echo "bench-fanout-smoke: bad schema"; exit 1; }
+	@grep -q '"encode_once_ok": true' $(FANOUT_SMOKE_JSON) || \
+		{ echo "bench-fanout-smoke: more than one encode per serial bump"; exit 1; }
+	@echo "bench-fanout-smoke: OK"
+
 clean:
 	dune clean
 	rm -f BENCH_compress.json BENCH_validate.json BENCH_rtr.json \
-		$(SMOKE_JSON) $(VALIDATE_SMOKE_JSON) $(SIM_SMOKE_JSON) $(LINT_JSON)
+		BENCH_rtr_fanout.json $(SMOKE_JSON) $(VALIDATE_SMOKE_JSON) \
+		$(SIM_SMOKE_JSON) $(FANOUT_SMOKE_JSON) $(LINT_JSON)
 
 LINT_JSON := LINT_report.json
 
@@ -79,6 +99,7 @@ lint:
 	@echo "lint: OK (report in $(LINT_JSON))"
 
 # The one-stop gate: build everything, run the test suites, lint the
-# tree, and smoke-check the parallel pipelines and the RTR simulator.
-check: build test lint bench-smoke sim-smoke
+# tree, and smoke-check the parallel pipelines, the RTR simulator and
+# the encode-once fan-out.
+check: build test lint bench-smoke sim-smoke bench-fanout-smoke
 	@echo "check: OK"

@@ -13,7 +13,7 @@
                    Domain.recommended_domain_count; 1 = sequential)
      BENCH_ONLY    comma-separated subset of sections to run, among
                    section6, audit, table1, figure3, attack, compress,
-                   validate, rtr, ablation, micro (default: all)
+                   validate, rtr, fanout, ablation, micro (default: all)
      BENCH_JSON    output path for the machine-readable compression
                    benchmark (default BENCH_compress.json)
      BENCH_VALIDATE_JSON
@@ -24,7 +24,13 @@
                    sweep (default 50)
      BENCH_RTR_JSON
                    output path for the machine-readable RTR sweep
-                   (default BENCH_rtr.json) *)
+                   (default BENCH_rtr.json)
+     BENCH_FANOUT_SESSIONS
+                   comma-separated session counts for the encode-once
+                   fan-out scale bench (default 1000,10000,100000)
+     BENCH_FANOUT_JSON
+                   output path for the machine-readable fan-out bench
+                   (default BENCH_rtr_fanout.json) *)
 
 let getenv_float name default =
   match Sys.getenv_opt name with
@@ -57,6 +63,19 @@ let rtr_json_path =
   match Sys.getenv_opt "BENCH_RTR_JSON" with
   | Some p when p <> "" -> p
   | Some _ | None -> "BENCH_rtr.json"
+
+let fanout_sessions =
+  match Sys.getenv_opt "BENCH_FANOUT_SESSIONS" with
+  | Some s when String.trim s <> "" ->
+    String.split_on_char ',' s
+    |> List.filter_map (fun tok -> int_of_string_opt (String.trim tok))
+    |> List.filter (fun n -> n > 0)
+  | Some _ | None -> [ 1_000; 10_000; 100_000 ]
+
+let fanout_json_path =
+  match Sys.getenv_opt "BENCH_FANOUT_JSON" with
+  | Some p when p <> "" -> p
+  | Some _ | None -> "BENCH_rtr_fanout.json"
 
 let only_sections =
   match Sys.getenv_opt "BENCH_ONLY" with
@@ -507,6 +526,149 @@ let section_rtr () =
     exit 1
   end
 
+(* --- encode-once fan-out scale bench (BENCH_rtr_fanout.json) --- *)
+
+(* One cache, N router sessions on a heterogeneous fleet (perfect,
+   rechunking and delaying links interleaved), driven through the full
+   scripted publication sequence. The point being measured: serving N
+   sessions costs exactly one delta encode per serial bump — the run
+   fails hard if [delta_encodes <> publishes] — while throughput is
+   reported as sessions simulated per wall-clock second and
+   time-to-Fresh percentiles after the last publication. *)
+
+type fanout_row = {
+  f_sessions : int;
+  f_publishes : int;
+  f_delta_encodes : int;
+  f_snapshot_encodes : int;
+  f_merge_encodes : int;
+  f_bytes_per_router : float;
+  f_retained_bytes : int;
+  f_fresh : int;
+  f_stale : int;
+  f_degraded : int;
+  f_p50_ms : int;
+  f_p99_ms : int;
+  f_events : int;
+  f_wall : float;
+  f_sessions_per_s : float;
+}
+
+let fanout_mix = Netsim.Fault.[ perfect; rechunking; delaying ]
+
+(* Nearest-rank percentile over a sorted array; 0 when no router
+   reached the final set (every such run also fails the freshness
+   check below, so the 0 can never masquerade as a good result). *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0 else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let bench_fanout sessions =
+  let module Sim = Netsim.Rtr_sim in
+  let config = { Sim.default_config with Sim.routers = sessions; trace = false } in
+  let t0 = Unix.gettimeofday () in
+  let r = Sim.run ~config ~mix:fanout_mix ~seed ~policy:Netsim.Fault.perfect () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let fresh = ref 0 and stale = ref 0 and degraded = ref 0 in
+  let to_fresh =
+    List.filter_map
+      (fun o ->
+        (match o.Sim.freshness with
+         | Rtr.Router_client.Fresh when o.Sim.vrps_ok -> incr fresh
+         | Rtr.Router_client.Stale when o.Sim.vrps_ok -> incr stale
+         | _ -> incr degraded);
+        Option.map (fun t -> max 0 (t - r.Sim.last_publish)) o.Sim.first_final)
+      r.Sim.outcomes
+    |> Array.of_list
+  in
+  Array.sort Int.compare to_fresh;
+  let stats = r.Sim.cache_stats in
+  let row =
+    { f_sessions = sessions;
+      f_publishes = r.Sim.publishes;
+      f_delta_encodes = stats.Rtr.Cache_server.delta_encodes;
+      f_snapshot_encodes = stats.Rtr.Cache_server.snapshot_encodes;
+      f_merge_encodes = stats.Rtr.Cache_server.merge_encodes;
+      f_bytes_per_router = float_of_int r.Sim.link.Netsim.Link.bytes /. float_of_int sessions;
+      f_retained_bytes = r.Sim.cache_retained_bytes;
+      f_fresh = !fresh;
+      f_stale = !stale;
+      f_degraded = !degraded;
+      f_p50_ms = percentile to_fresh 0.50;
+      f_p99_ms = percentile to_fresh 0.99;
+      f_events = r.Sim.events;
+      f_wall = wall;
+      f_sessions_per_s = float_of_int sessions /. wall }
+  in
+  Printf.printf
+    "  %7d sessions   %2d publishes / %2d delta encodes   %8.0f bytes/router   %6d fresh / \
+     %d stale / %d degraded   p50 %5d ms  p99 %5d ms   %7.2f s  (%8.0f sessions/s)\n"
+    sessions r.Sim.publishes stats.Rtr.Cache_server.delta_encodes row.f_bytes_per_router !fresh
+    !stale !degraded row.f_p50_ms row.f_p99_ms wall row.f_sessions_per_s;
+  row
+
+(* Same hand-rolled style as [write_bench_json]; schema documented in
+   README.md. *)
+let write_fanout_json path rows =
+  let encode_once_ok = List.for_all (fun r -> r.f_delta_encodes = r.f_publishes) rows in
+  let buf = Buffer.create 2048 in
+  let spf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  spf "{\n";
+  spf "  \"schema\": \"rpki-maxlen/bench-rtr-fanout/v1\",\n";
+  spf "  \"seed\": %d,\n" seed;
+  spf "  \"mix\": [%s],\n"
+    (String.concat ", " (List.map (fun p -> Printf.sprintf "%S" p.Netsim.Fault.name) fanout_mix));
+  spf "  \"encode_once_ok\": %b,\n" encode_once_ok;
+  spf "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      spf "    {\n";
+      spf "      \"sessions\": %d,\n" r.f_sessions;
+      spf "      \"publishes\": %d,\n" r.f_publishes;
+      spf "      \"delta_encodes\": %d,\n" r.f_delta_encodes;
+      spf "      \"snapshot_encodes\": %d,\n" r.f_snapshot_encodes;
+      spf "      \"merge_encodes\": %d,\n" r.f_merge_encodes;
+      spf "      \"bytes_per_router\": %.1f,\n" r.f_bytes_per_router;
+      spf "      \"cache_retained_bytes\": %d,\n" r.f_retained_bytes;
+      spf "      \"fresh\": %d,\n" r.f_fresh;
+      spf "      \"stale\": %d,\n" r.f_stale;
+      spf "      \"degraded\": %d,\n" r.f_degraded;
+      spf "      \"p50_to_fresh_ms\": %d,\n" r.f_p50_ms;
+      spf "      \"p99_to_fresh_ms\": %d,\n" r.f_p99_ms;
+      spf "      \"events\": %d,\n" r.f_events;
+      spf "      \"wall_s\": %.6f,\n" r.f_wall;
+      spf "      \"sessions_per_s\": %.1f\n" r.f_sessions_per_s;
+      spf "    }%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  spf "  ]\n";
+  spf "}\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
+
+let section_fanout () =
+  banner
+    (Printf.sprintf "Encode-once RTR fan-out: one cache, sessions at %s"
+       (String.concat "/" (List.map string_of_int fanout_sessions)));
+  let rows = List.map bench_fanout fanout_sessions in
+  write_fanout_json fanout_json_path rows;
+  Printf.printf "  wrote %s\n" fanout_json_path;
+  List.iter
+    (fun r ->
+      if r.f_delta_encodes <> r.f_publishes then begin
+        Printf.eprintf
+          "BENCH FAILURE: %d sessions took %d delta encodes for %d publishes — the \
+           encode-once invariant is broken\n"
+          r.f_sessions r.f_delta_encodes r.f_publishes;
+        exit 1
+      end;
+      (* The scale runs must stay a working deployment, not just a fast
+         one: at least 90%% of the fleet ends Fresh on the exact set. *)
+      if r.f_fresh * 10 < r.f_sessions * 9 then begin
+        Printf.eprintf "BENCH FAILURE: only %d of %d sessions ended Fresh\n" r.f_fresh
+          r.f_sessions;
+        exit 1
+      end)
+    rows
+
 (* --- ablation: Strict vs Paper merge rule --- *)
 
 let ablation snap =
@@ -584,7 +746,7 @@ let micro_benchmarks snap =
             (Netaddr.Pfx.of_string_exn "168.122.0.0/16")
             ~max_len:24 (Rpki.Asnum.of_int 111) }
   in
-  let rtr_wire = Rtr.Pdu.encode rtr_pdu in
+  let rtr_wire = (Rtr.Pdu.encode rtr_pdu [@lint.encode_ok]) in
   let update =
     { Bgp.Wire.withdrawn = [ Netaddr.Pfx.of_string_exn "192.0.2.0/24" ];
       announced =
@@ -623,7 +785,7 @@ let micro_benchmarks snap =
              Dataset.Bgp_table.has_same_origin_ancestor table (next probe_prefixes) (next asns)));
       Test.make ~name:"scan_roas/figure-2-roa"
         (Staged.stage (fun () -> Rpki.Scan_roas.vrps_of_roas [ roa_fig2 ]));
-      Test.make ~name:"rtr/encode-prefix-pdu" (Staged.stage (fun () -> Rtr.Pdu.encode rtr_pdu));
+      Test.make ~name:"rtr/encode-prefix-pdu" (Staged.stage (fun () -> (Rtr.Pdu.encode rtr_pdu [@lint.encode_ok])));
       Test.make ~name:"rtr/decode-prefix-pdu" (Staged.stage (fun () -> Rtr.Pdu.decode rtr_wire 0));
       Test.make ~name:"bgp/encode-update" (Staged.stage (fun () -> Bgp.Wire.encode update));
       Test.make ~name:"bgp/decode-update" (Staged.stage (fun () -> Bgp.Wire.decode update_wire));
@@ -657,6 +819,7 @@ let () =
   section "compress" (fun () -> section72 (Lazy.force snap));
   section "validate" (fun () -> section_validate (Lazy.force snap));
   section "rtr" section_rtr;
+  section "fanout" section_fanout;
   section "ablation" (fun () -> ablation (Lazy.force snap));
   section "micro" (fun () -> micro_benchmarks (Lazy.force snap));
   banner "Done"

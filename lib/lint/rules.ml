@@ -380,6 +380,44 @@ let r5_check ctx st =
   let it = { default with expr } in
   it.structure it st
 
+(* --- R6: Pdu.encode only inside the encode-once core ---------------- *)
+
+(* The fan-out refactor's whole point is that PDU serialization happens
+   once per payload, in [Cache_server]'s segment cache — a stray
+   [Pdu.encode] in a serving loop silently reintroduces the
+   O(sessions × PDUs) cost. The check is syntactic: any ident path
+   ending in [Pdu.encode] (module aliases included: [Rtr.Pdu.encode])
+   outside the two core files and test code. Genuine one-offs — an
+   Error Report echoing the offending PDU, a micro-bench measuring the
+   encoder itself — carry [@lint.encode_ok]. *)
+let r6_allowed = [ "lib/rtr/pdu.ml"; "lib/rtr/cache_server.ml" ]
+let r6_exempt path = mem_string path r6_allowed || under_prefix "test/" path
+
+let r6_check ctx st =
+  let rule = "R6" and severity = Finding.Error in
+  let default = Ast_iterator.default_iterator in
+  let expr (it : Ast_iterator.iterator) (e : expression) =
+    if has_attr "lint.encode_ok" e.pexp_attributes then ()
+    else begin
+      (match e.pexp_desc with
+      | Pexp_ident { txt; loc } -> (
+        match List.rev (flatten_ident txt) with
+        | "encode" :: "Pdu" :: _ ->
+          finding ctx ~rule ~severity loc
+            "per-PDU Pdu.encode outside the encode-once core: fan out the shared \
+             segments from Cache_server.handle_wire (or batch with Pdu.encode_all); \
+             annotate a genuine one-off [@lint.encode_ok]"
+        | _ -> ())
+      | _ -> ());
+      default.expr it e
+    end
+  in
+  let value_binding (it : Ast_iterator.iterator) (vb : value_binding) =
+    if not (has_attr "lint.encode_ok" vb.pvb_attributes) then default.value_binding it vb
+  in
+  let it = { default with expr; value_binding } in
+  it.structure it st
+
 (* --- registry ------------------------------------------------------- *)
 
 let all : t list =
@@ -421,6 +459,14 @@ let all : t list =
          ...): stdout is reserved for bin/ and bench/. Escape: [@lint.stdout_ok].";
       kind =
         File_rule (fun ctx st -> if under_prefix "lib/" ctx.path then r5_check ctx st) };
+    { id = "R6";
+      name = "encode-outside-core";
+      severity = Finding.Error;
+      doc =
+        "Pdu.encode may only be called from lib/rtr/pdu.ml, lib/rtr/cache_server.ml and \
+         test code: per-session re-encoding defeats the encode-once fan-out. Escape: \
+         [@lint.encode_ok].";
+      kind = File_rule (fun ctx st -> if not (r6_exempt ctx.path) then r6_check ctx st) };
   ]
 
 let find ids =

@@ -4,7 +4,8 @@
     [Ast_iterator], with no typing environment — and each offers an
     attribute escape hatch for sites the approximation gets wrong:
     [[@lint.poly_ok]] (R1), [[@lint.unsafe_ok]] (R2),
-    [[@lint.domain_safe]] (R3), [[@lint.stdout_ok]] (R5). *)
+    [[@lint.domain_safe]] (R3), [[@lint.stdout_ok]] (R5),
+    [[@lint.encode_ok]] (R6). *)
 
 type file_context = {
   path : string;  (** '/'-separated path relative to the lint root *)
@@ -22,7 +23,7 @@ type kind =
   | Tree_rule of (tree_context -> unit)  (** runs once per lint invocation *)
 
 type t = {
-  id : string;  (** "R1" .. "R5" *)
+  id : string;  (** "R1" .. "R6" *)
   name : string;  (** short slug, e.g. "poly-compare" *)
   severity : Finding.severity;
   doc : string;  (** one-paragraph rationale shown by [--list-rules] *)

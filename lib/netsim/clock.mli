@@ -41,3 +41,39 @@ val pending : t -> int
 
 val executed : t -> int
 (** Number of events run so far. *)
+
+(** A bucketed timer wheel over the clock, for workloads with very
+    many coarse timers (one wakeup per simulated router session).
+    Scheduling and draining are O(1) amortized — the alternative at
+    100k sessions is an O(n) scan of every timer per drive-loop
+    iteration. Entries are plain integers (the caller packs whatever
+    identity it needs); deadlines are rounded {e up} to the bucket
+    granularity, so a fire can be up to [granularity - 1] ms late but
+    never early, and never lands behind the drain cursor. Within a
+    bucket, entries fire in insertion (FIFO) order — determinism is
+    preserved. Stale entries are expected: callers deduplicate with a
+    generation check at fire time and simply re-schedule. *)
+module Wheel : sig
+  type clock := t
+  type t
+
+  val create : ?granularity:int -> clock -> t
+  (** A wheel read against the given clock. [granularity] is the
+      bucket width in virtual ms (default 16). *)
+
+  val schedule : t -> time:int -> int -> unit
+  (** Enroll an entry to fire once [time] is reached. Times in the
+      past are clamped to now (firing on the next {!advance}). *)
+
+  val next_due : t -> int option
+  (** Earliest bucket deadline with a pending entry. *)
+
+  val scheduled : t -> int
+  (** Entries currently enrolled (including stale ones). *)
+
+  val advance : t -> (int -> unit) -> unit
+  (** Fire every entry in buckets due at or before the clock's current
+      time, oldest bucket first, FIFO within a bucket. Entries
+      scheduled by the callback land in later buckets and may fire in
+      the same drain if already due. *)
+end

@@ -120,27 +120,75 @@ let schedule_chunk t chunk =
     end
   end
 
-let send t data =
-  if (not t.closed) && String.length data > 0 then begin
-    t.s <- { t.s with writes = t.s.writes + 1; bytes = t.s.bytes + String.length data };
+(* Chunk the logical write as ONE byte stream: chunk-size draws (and
+   therefore per-chunk fault draws) depend only on the total length,
+   exactly as if the segments had been concatenated first. Keeping
+   the fault statistics independent of how the payload was segmented
+   matters — splitting a response into three shared buffers must not
+   triple its exposure to per-chunk drops and duplicates. A chunk that
+   spans exactly one whole segment is shared by reference; only chunks
+   that slice or straddle segments materialize fresh bytes. *)
+let chunk_out t segments total =
+  let segs = Array.of_list segments in
+  let si = ref 0 and soff = ref 0 in
+  (* Skip empty segments so the cursor always sits on real bytes. *)
+  let rec settle () =
+    if !si < Array.length segs && !soff = String.length segs.(!si) then begin
+      incr si;
+      soff := 0;
+      settle ()
+    end
+  in
+  let remaining = ref total in
+  while !remaining > 0 do
+    settle ();
+    let size =
+      min !remaining
+        (Rng.int_in t.rng
+           (max 1 t.policy.Fault.chunk_min)
+           (max 1 t.policy.Fault.chunk_max))
+    in
+    let cur = segs.(!si) in
+    let chunk =
+      if size <= String.length cur - !soff then begin
+        (* Within one segment: share the whole string when the chunk
+           covers it, else slice. *)
+        let c =
+          if !soff = 0 && size = String.length cur then cur else String.sub cur !soff size
+        in
+        soff := !soff + size;
+        c
+      end
+      else begin
+        (* Straddles a segment boundary: gather from the cursor. *)
+        let b = Buffer.create size in
+        let need = ref size in
+        while !need > 0 do
+          settle ();
+          let cur = segs.(!si) in
+          let take = min (String.length cur - !soff) !need in
+          Buffer.add_substring b cur !soff take;
+          soff := !soff + take;
+          need := !need - take
+        done;
+        Buffer.contents b
+      end
+    in
+    schedule_chunk t chunk;
+    remaining := !remaining - size
+  done
+
+let send_segments t segments =
+  let total = List.fold_left (fun acc s -> acc + String.length s) 0 segments in
+  if (not t.closed) && total > 0 then begin
+    t.s <- { t.s with writes = t.s.writes + 1; bytes = t.s.bytes + total };
     (* The connection-drop fault is evaluated once per write: the
        write itself is lost with the connection. *)
     if (not t.dropping) && Rng.bernoulli t.rng t.policy.Fault.conn_drop then begin
       t.dropping <- true;
       t.conn_drop ()
     end
-    else begin
-      let n = String.length data in
-      let off = ref 0 in
-      while !off < n do
-        let size =
-          min (n - !off)
-            (Rng.int_in t.rng
-               (max 1 t.policy.Fault.chunk_min)
-               (max 1 t.policy.Fault.chunk_max))
-        in
-        schedule_chunk t (String.sub data !off size);
-        off := !off + size
-      done
-    end
+    else chunk_out t segments total
   end
+
+let send t data = send_segments t [ data ]

@@ -56,6 +56,16 @@ val send : t -> string -> unit
 (** Write bytes to the pipe. Ignored after {!close}. Empty writes are
     ignored. *)
 
+val send_segments : t -> string list -> unit
+(** One logical write whose payload is a list of (typically shared,
+    encode-once) wire segments — the simulator's writev. The byte
+    stream, the chunk-size draws and the per-chunk fault draws are
+    identical to [send] of the segments' concatenation — fault
+    exposure must not depend on how a payload was segmented — but the
+    concatenation itself never happens: a chunk spanning exactly one
+    whole segment is scheduled by reference, and only chunks slicing
+    or straddling segments copy bytes. *)
+
 val close : t -> unit
 (** Tear the pipe down; in-flight chunks are lost. Idempotent. *)
 

@@ -15,6 +15,7 @@ type config = {
   expire_s : int;
   settle : int;
   initial_serial : int32;
+  trace : bool;
 }
 
 let default_config =
@@ -26,7 +27,8 @@ let default_config =
     retry_s = 2;
     expire_s = 20;
     settle = 26_000;
-    initial_serial = 0xFFFF_FFF0l }
+    initial_serial = 0xFFFF_FFF0l;
+    trace = true }
 
 type router_outcome = {
   router : int;
@@ -35,6 +37,7 @@ type router_outcome = {
   vrps_ok : bool;
   serial : int32 option;
   reconnects : int;
+  first_final : int option;
   client : Client.stats;
 }
 
@@ -46,10 +49,13 @@ type report = {
   publishes : int;
   final_serial : int32;
   end_time : int;
+  last_publish : int;
   events : int;
   converged_at : int option;
   link : Link.stats;
   framer_errors : int;
+  cache_stats : Cache.stats;
+  cache_retained_bytes : int;
   trace_events : int;
   fingerprint : string;
   trace : string;
@@ -73,17 +79,23 @@ type router = {
   idx : int;
   client : Client.t;
   rng : Rng.t; (* parent stream for this router's per-connection streams *)
+  policy : Fault.t; (* this session's link fault policy *)
   mutable conn : conn option;
   mutable gen : int;
   mutable first_final : int option; (* when the installed set first became (and stayed) final *)
+  (* Timer-wheel bookkeeping: the earliest enrolled wakeup and a
+     generation counter that invalidates stale wheel entries. *)
+  mutable enrolled_at : int;
+  mutable enrol_gen : int;
 }
 
 type sim = {
   clock : Clock.t;
+  wheel : Clock.Wheel.t;
   trace : Trace.t;
+  trace_on : bool;
   cache : Cache.t;
-  policy : Fault.t;
-  rtrs : router list;
+  rtrs : router array;
   final_set : Vset.t;
   end_time : int;
   mutable publishes : int;
@@ -106,7 +118,15 @@ let zero_stats : Link.stats =
   { writes = 0; chunks = 0; bytes = 0; delivered = 0; dropped = 0; duplicated = 0; truncated = 0;
     corrupted = 0; tainted = 0 }
 
-let record t fmt = Printf.ksprintf (fun s -> Trace.record t.trace ~time:(Clock.now t.clock) s) fmt
+(* Tracing is config-gated: at 100k sessions the trace would dominate
+   memory and run time, so scale runs turn it off and give up the
+   replay fingerprint (determinism is still exercised by the default
+   traced configurations). [ikfprintf] skips the formatting work
+   entirely, not just the recording. *)
+let record t fmt =
+  if t.trace_on then
+    Printf.ksprintf (fun s -> Trace.record t.trace ~time:(Clock.now t.clock) s) fmt
+  else Printf.ikfprintf ignore () fmt
 
 (* --- the scripted VRP updates ------------------------------------- *)
 
@@ -156,6 +176,27 @@ let gen_updates rng cfg =
   in
   go cfg.updates []
 
+(* --- timer wheel enrolment ----------------------------------------- *)
+
+(* Router indices are packed with the enrolment generation into one
+   wheel entry; 20 bits bound the session table at ~1M routers. *)
+let idx_bits = 20
+let idx_mask = (1 lsl idx_bits) - 1
+let max_routers = idx_mask
+
+let enrol t r =
+  match Client.next_wakeup r.client with
+  | None -> ()
+  | Some w ->
+    (* A due-but-unserviced wakeup would stall the loop; clamp it
+       forward (same clamp the pre-wheel drive loop applied). *)
+    let w = max w (Clock.now t.clock + 1) in
+    if w < r.enrolled_at then begin
+      r.enrolled_at <- w;
+      r.enrol_gen <- r.enrol_gen + 1;
+      Clock.Wheel.schedule t.wheel ~time:w ((r.enrol_gen lsl idx_bits) lor r.idx)
+    end
+
 (* --- connection lifecycle ----------------------------------------- *)
 
 let flush_outbox _t r =
@@ -163,7 +204,7 @@ let flush_outbox _t r =
   | Some c when c.alive ->
     (match Client.pending r.client with
      | [] -> ()
-     | pdus -> Link.send c.c2r (String.concat "" (List.map Pdu.encode pdus)))
+     | pdus -> Link.send c.c2r (Pdu.encode_all pdus))
   | Some _ | None -> ignore (Client.pending r.client)
 
 let drop_conn t r reason =
@@ -176,7 +217,8 @@ let drop_conn t r reason =
     t.link_totals <- add_stats (add_stats t.link_totals (Link.stats c.c2r)) (Link.stats c.r2c);
     r.conn <- None;
     Client.disconnected r.client ~now:(Clock.now t.clock);
-    record t "router %d: connection %d down (%s)" r.idx c.gen reason
+    record t "router %d: connection %d down (%s)" r.idx c.gen reason;
+    enrol t r
 
 (* A completed exchange may have moved the installed set onto (or off)
    the final published set; track the earliest time from which the
@@ -211,9 +253,11 @@ let cache_rx t r c ~tainted bytes =
                  (Format.asprintf "%a" Pdu.pp_error_code code);
                drop_conn t r "error report at cache"
              | query ->
-               (match Cache.handle t.cache query with
+               (* The response is a run of shared encode-once segments;
+                  the link ships them by reference (one logical write). *)
+               (match Cache.handle_wire t.cache query with
                 | [] -> ()
-                | responses -> Link.send c.r2c (String.concat "" (List.map Pdu.encode responses))))
+                | segments -> Link.send_segments c.r2c segments))
          pdus);
     (* Any response to a tainted query dies with the connection (its
        chunks are scheduled strictly later, on a link closed now). *)
@@ -260,7 +304,10 @@ let router_rx t r c ~tainted bytes =
       end;
       record t "router %d: downlink stream damage" r.idx;
       drop_conn t r "downlink stream damage"
-    end
+    end;
+    (* The receive may have moved the client's next wakeup (new
+       deadline, refresh schedule, retry); keep the wheel current. *)
+    enrol t r
   end
 
 let connect_router t r =
@@ -282,10 +329,10 @@ let connect_router t r =
     | Some _ | None -> ()
   in
   let c2r =
-    Link.create ~clock:t.clock ~rng:up_rng ~policy:t.policy ~deliver:(with_conn cache_rx)
+    Link.create ~clock:t.clock ~rng:up_rng ~policy:r.policy ~deliver:(with_conn cache_rx)
       ~conn_drop
   and r2c =
-    Link.create ~clock:t.clock ~rng:down_rng ~policy:t.policy ~deliver:(with_conn router_rx)
+    Link.create ~clock:t.clock ~rng:down_rng ~policy:r.policy ~deliver:(with_conn router_rx)
       ~conn_drop
   in
   let c =
@@ -294,7 +341,8 @@ let connect_router t r =
   r.conn <- Some c;
   record t "router %d: connection %d up" r.idx gen;
   Client.connected r.client ~now:(Clock.now t.clock);
-  flush_outbox t r
+  flush_outbox t r;
+  enrol t r
 
 (* --- the drive loop ----------------------------------------------- *)
 
@@ -310,38 +358,44 @@ let service t r =
      | Some at when at <= now -> connect_router t r
      | Some _ | None -> ())
 
+(* A wheel entry fires: valid only if its generation is still the
+   router's current enrolment (stale entries are no-ops — the router
+   re-enrolled at an earlier time, or the wakeup moved). *)
+let fire t packed =
+  let idx = packed land idx_mask in
+  let gen = packed asr idx_bits in
+  let r = t.rtrs.(idx) in
+  if gen = r.enrol_gen then begin
+    r.enrolled_at <- max_int;
+    service t r;
+    enrol t r
+  end
+
 let publish t set =
   match Cache.update t.cache (Vset.elements set) with
   | None -> record t "publish: no-op"
-  | Some notify ->
+  | Some _notify ->
     t.publishes <- t.publishes + 1;
     record t "publish: serial=%ld n=%d" (Cache.serial t.cache) (Vset.cardinal set);
-    let wire = Pdu.encode notify in
-    List.iter
+    (* One notify buffer, encoded once, fanned out to every live
+       connection by reference. *)
+    let wire = Cache.notify_wire t.cache in
+    Array.iter
       (fun r -> match r.conn with Some c when c.alive -> Link.send c.r2c wire | Some _ | None -> ())
       t.rtrs
 
 let drive t =
   let rec go () =
-    List.iter (service t) t.rtrs;
+    Clock.Wheel.advance t.wheel (fire t);
     let now = Clock.now t.clock in
     if now < t.end_time then begin
-      let wakeup =
-        List.fold_left
-          (fun acc r ->
-            match Client.next_wakeup r.client with
-            | None -> acc
-            | Some w ->
-              (* A due-but-unserviced wakeup would stall the loop; clamp
-                 it forward (it is a bug to hit the [max], but a bounded
-                 one). *)
-              let w = max w (now + 1) in
-              (match acc with None -> Some w | Some a -> Some (min a w)))
-          None t.rtrs
-      in
       let target =
-        let e = match Clock.next_time t.clock with Some e -> min e t.end_time | None -> t.end_time in
-        match wakeup with Some w -> min e w | None -> e
+        let e =
+          match Clock.next_time t.clock with Some e -> min e t.end_time | None -> t.end_time
+        in
+        match Clock.Wheel.next_due t.wheel with
+        | Some w -> min e (max w (now + 1))
+        | None -> e
       in
       (match Clock.next_time t.clock with
        | Some e when e <= target -> ignore (Clock.run_next t.clock)
@@ -350,16 +404,23 @@ let drive t =
     end
   in
   go ();
-  Clock.advance t.clock t.end_time
+  Clock.advance t.clock t.end_time;
+  Clock.Wheel.advance t.wheel (fire t)
 
 (* --- one full simulation ------------------------------------------ *)
 
-let run ?(config = default_config) ~seed ~policy () =
+let run ?(config = default_config) ?(mix = []) ~seed ~policy () =
   let cfg =
     { config with
-      routers = max 1 config.routers;
+      routers = max 1 (min max_routers config.routers);
       updates = max 1 config.updates;
       update_gap = max 1 config.update_gap }
+  in
+  let policies = match mix with [] -> [| policy |] | l -> Array.of_list l in
+  let policy_name =
+    match mix with
+    | [] -> policy.Fault.name
+    | l -> String.concat "+" (List.map (fun (p : Fault.t) -> p.Fault.name) l)
   in
   let master = Rng.create seed in
   let clock = Clock.create () in
@@ -373,19 +434,26 @@ let run ?(config = default_config) ~seed ~policy () =
       []
   in
   let rtrs =
-    List.init cfg.routers (fun idx ->
+    Array.init cfg.routers (fun idx ->
         { idx;
           client = Client.create ~initial_backoff:400 ~max_backoff:4_000 ~response_timeout:5_000 ();
           rng = Rng.split master (Printf.sprintf "router-%d" idx);
+          policy = policies.(idx mod Array.length policies);
           conn = None;
           gen = 0;
-          first_final = None })
+          first_final = None;
+          enrolled_at = max_int;
+          enrol_gen = 0 })
   in
   let t =
     { clock;
+      (* Granularity 1: bucket drains cost next to nothing at these
+         horizons, and wakeups fire at their exact deadline — the wheel
+         changes the data structure, not the timing. *)
+      wheel = Clock.Wheel.create ~granularity:1 clock;
       trace = Trace.create ();
+      trace_on = cfg.trace;
       cache;
-      policy;
       rtrs;
       final_set;
       end_time = (cfg.updates * cfg.update_gap) + cfg.settle;
@@ -393,16 +461,15 @@ let run ?(config = default_config) ~seed ~policy () =
       framer_errors = 0;
       link_totals = zero_stats }
   in
-  record t "sim: seed=%d policy=%s routers=%d updates=%d" seed policy.Fault.name cfg.routers
-    cfg.updates;
+  record t "sim: seed=%d policy=%s routers=%d updates=%d" seed policy_name cfg.routers cfg.updates;
   (* Everybody dials at t=0; the publication script starts one gap later. *)
-  List.iter (fun r -> connect_router t r) rtrs;
+  Array.iter (fun r -> connect_router t r) rtrs;
   List.iteri
     (fun k set -> Clock.at clock ~time:((k + 1) * cfg.update_gap) (fun () -> publish t set))
     updates;
   drive t;
   (* Fold the still-open connections' link counters into the totals. *)
-  List.iter
+  Array.iter
     (fun r ->
       match r.conn with
       | Some c ->
@@ -412,16 +479,18 @@ let run ?(config = default_config) ~seed ~policy () =
     rtrs;
   let now = t.end_time in
   let outcomes =
-    List.map
-      (fun r ->
-        { router = r.idx;
-          freshness = Client.freshness r.client ~now;
-          synced = Client.synced r.client;
-          vrps_ok = Vset.equal (Client.vrps r.client) (Cache.vrps cache);
-          serial = Client.serial r.client;
-          reconnects = r.gen - 1;
-          client = Client.stats r.client })
-      rtrs
+    Array.to_list
+      (Array.map
+         (fun r ->
+           { router = r.idx;
+             freshness = Client.freshness r.client ~now;
+             synced = Client.synced r.client;
+             vrps_ok = Vset.equal (Client.vrps r.client) (Cache.vrps cache);
+             serial = Client.serial r.client;
+             reconnects = r.gen - 1;
+             first_final = r.first_final;
+             client = Client.stats r.client })
+         rtrs)
   in
   let ok =
     List.for_all
@@ -434,7 +503,7 @@ let run ?(config = default_config) ~seed ~policy () =
   let converged_at =
     (* Only meaningful over the routers that did converge; the latest
        of their convergence instants. *)
-    List.fold_left
+    Array.fold_left
       (fun acc r ->
         match r.first_final, acc with
         | None, _ -> acc
@@ -454,16 +523,19 @@ let run ?(config = default_config) ~seed ~policy () =
         (match o.serial with Some s -> Int32.to_string s | None -> "-"))
     outcomes;
   { seed;
-    policy = policy.Fault.name;
+    policy = policy_name;
     ok;
     outcomes;
     publishes = t.publishes;
     final_serial = Cache.serial cache;
     end_time = t.end_time;
+    last_publish = cfg.updates * cfg.update_gap;
     events = Clock.executed clock;
     converged_at;
     link = t.link_totals;
     framer_errors = t.framer_errors;
+    cache_stats = Cache.stats cache;
+    cache_retained_bytes = Cache.retained_bytes cache;
     trace_events = Trace.count t.trace;
     fingerprint = Trace.fingerprint t.trace;
     trace = Trace.to_string t.trace }

@@ -10,6 +10,12 @@
     {!Rng} streams, so a run is replayable bit-for-bit: same seed and
     policy, same {!Trace} fingerprint, same outcomes.
 
+    The serving plane is encode-once: responses and notifies travel as
+    [Rtr.Cache_server]'s shared wire segments, shipped by reference
+    through {!Link.send_segments}, and router wakeups ride a bucketed
+    {!Clock.Wheel} instead of a per-event scan — which is what lets
+    one simulated cache drive 10k–100k concurrent sessions.
+
     The correctness contract a run is judged against (the acceptance
     sweep): when the simulation ends, every router whose data has not
     expired holds exactly the cache's current VRP set; routers that
@@ -18,7 +24,7 @@
     first sync); and nothing anywhere raised. *)
 
 type config = {
-  routers : int;  (** Router count (default 4). *)
+  routers : int;  (** Router count (default 4; capped at ~1M). *)
   updates : int;  (** Scripted VRP publications (default 20). *)
   update_gap : int;  (** ms between publications (default 400). *)
   max_vrps_per_update : int;  (** Set size cap per publication (default 12). *)
@@ -34,6 +40,10 @@ type config = {
       (** The cache's starting serial (default [0xFFFF_FFF0]: with 20
           updates every default run crosses the RFC 1982 serial wrap,
           so the sweep is a standing wraparound regression). *)
+  trace : bool;
+      (** Record the event trace (default true). Scale runs (10k+
+          sessions) turn it off: the trace text would dominate memory,
+          and with it the replay fingerprint is not available. *)
 }
 
 val default_config : config
@@ -45,12 +55,19 @@ type router_outcome = {
   vrps_ok : bool;  (** Installed set equals the cache's current set. *)
   serial : int32 option;
   reconnects : int;  (** Connection incarnations beyond the first. *)
+  first_final : int option;
+      (** Virtual time from which the router held the final set
+          continuously; [None] if it never (or not at the end) did.
+          [first_final - last_publish] is the router's time-to-Fresh
+          after the last serial bump. *)
   client : Rtr.Router_client.stats;
 }
 
 type report = {
   seed : int;
   policy : string;
+      (** The fault policy's name — or the joined names when a [mix]
+          was supplied. *)
   ok : bool;
       (** The acceptance predicate: every router is either degraded
           ([Expired] / [No_data]) or holds the cache's current set. *)
@@ -58,20 +75,29 @@ type report = {
   publishes : int;  (** Serial-bumping updates (no-op updates excluded). *)
   final_serial : int32;
   end_time : int;  (** Virtual ms simulated. *)
+  last_publish : int;  (** Virtual time of the final scripted publication. *)
   events : int;  (** Clock events executed. *)
   converged_at : int option;
       (** Earliest virtual time by which every eventually-converged
           router already held the final set. *)
   link : Link.stats;  (** Both directions, all connection incarnations. *)
   framer_errors : int;
+  cache_stats : Rtr.Cache_server.stats;
+      (** Encode-once accounting: [delta_encodes] must equal
+          [publishes] whatever the router count — the bench asserts
+          this. *)
+  cache_retained_bytes : int;  (** {!Rtr.Cache_server.retained_bytes} at end time. *)
   trace_events : int;
   fingerprint : string;  (** {!Trace.fingerprint} — the determinism witness. *)
   trace : string;  (** Full event trace, for debugging a failing seed. *)
 }
 
-val run : ?config:config -> seed:int -> policy:Fault.t -> unit -> report
+val run : ?config:config -> ?mix:Fault.t list -> seed:int -> policy:Fault.t -> unit -> report
 (** Simulate one deployment. Total: never raises, whatever the policy
-    does to the wire. *)
+    does to the wire. When [mix] is non-empty, router [i] gets policy
+    [List.nth mix (i mod length mix)] and [policy] is unused —
+    heterogeneous fleets are how the scale bench exercises fast and
+    slow sessions against one shared cache. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** One-line summary (no trace). *)

@@ -5,42 +5,120 @@ module Vset = Rpki.Vrp.Set
    any retained serial. *)
 type delta = { announced : Vset.t; withdrawn : Vset.t }
 
+(* One retained serial: its delta for rollback, and the delta's Prefix
+   PDU run encoded exactly once, at [update] time, into an immutable
+   wire segment shared by every response that covers this serial. The
+   epoch stamps which serial bump created the segment; a segment is
+   dropped when its entry falls out of history, and the GC reclaims
+   the bytes once no in-flight response references them. *)
+type entry = { serial : int32; delta : delta; wire : string; epoch : int }
+
+type stats = {
+  delta_encodes : int;
+  merge_encodes : int;
+  snapshot_encodes : int;
+  snapshot_reuses : int;
+  wire_responses : int;
+  shared_bytes : int;
+  fresh_bytes : int;
+}
+
 type t = {
   session_id : int;
   history_limit : int;
   refresh_interval : int32;
   retry_interval : int32;
   expire_interval : int32;
+  header_wire : string; (* Cache Response for this session, encoded at create *)
   mutable serial : int32;
   mutable current : Vset.t;
-  mutable history : (int32 * delta) list; (* newest first *)
+  mutable history : entry list; (* newest first *)
+  mutable history_len : int; (* = List.length history, maintained incrementally *)
+  mutable oldest : int32; (* oldest serial whose state is still reconstructable *)
+  mutable epoch : int; (* bumped on every serial change *)
+  (* Lazy per-[since] catch-up encodings: the minimal squashed diff
+     from a retained serial to the current state, materialized on the
+     first Serial Query at that [since] and shared by every later one.
+     At most [history_limit] live entries; cleared on every bump. *)
+  mutable merged : (int32 * string) list;
+  mutable snapshot : (int * string) option; (* epoch-tagged full-set encoding *)
+  mutable eod : string option; (* End of Data for the current serial *)
+  mutable notify : string option; (* Serial Notify for the current serial *)
+  mutable stats : stats;
 }
 
 let default_refresh = 3600l
 let default_retry = 600l
 let default_expire = 7200l
 
+let zero_stats =
+  { delta_encodes = 0; merge_encodes = 0; snapshot_encodes = 0; snapshot_reuses = 0;
+    wire_responses = 0; shared_bytes = 0; fresh_bytes = 0 }
+
+(* Cache Reset carries no fields: one constant wire form for every
+   cache instance. *)
+let cache_reset_wire = Pdu.encode Pdu.Cache_reset
+
 let create ?(session_id = 0x5eed) ?(history_limit = 16) ?(initial_serial = 0l)
     ?(refresh_interval = default_refresh) ?(retry_interval = default_retry)
     ?(expire_interval = default_expire) vrps =
   { session_id; history_limit; refresh_interval; retry_interval; expire_interval;
-    serial = initial_serial; current = Vset.of_list vrps; history = [] }
+    header_wire = Pdu.encode (Pdu.Cache_response { session_id });
+    serial = initial_serial; current = Vset.of_list vrps; history = []; history_len = 0;
+    oldest = initial_serial; epoch = 0; merged = []; snapshot = None; eod = None;
+    notify = None; stats = zero_stats }
 
 let session_id t = t.session_id
 let serial t = t.serial
 let vrps t = t.current
+let epoch t = t.epoch
+let oldest_serial t = t.oldest
+let stats t = t.stats
+
+let retained_bytes t =
+  let opt = function Some w -> String.length w | None -> 0 in
+  String.length t.header_wire
+  + List.fold_left (fun acc e -> acc + String.length e.wire) 0 t.history
+  + List.fold_left (fun acc (_, w) -> acc + String.length w) 0 t.merged
+  + (match t.snapshot with Some (_, w) -> String.length w | None -> 0)
+  + opt t.eod + opt t.notify
+
+(* The PDU run of a delta, prepended onto [tail]: announces then
+   withdraws, in the set fold's reverse order. Both the in-memory
+   [handle] path and the encoded segments are built from this one
+   function, so their byte streams agree by construction. *)
+let delta_pdus ~tail { announced; withdrawn } =
+  Vset.fold
+    (fun v acc -> Pdu.Prefix { flags = Pdu.Announce; vrp = v } :: acc)
+    announced
+    (Vset.fold (fun v acc -> Pdu.Prefix { flags = Pdu.Withdraw; vrp = v } :: acc) withdrawn tail)
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
 
 let update t vrps =
   let next = Vset.of_list vrps in
   if Vset.equal next t.current then None
   else begin
-    let announced = Vset.diff next t.current in
-    let withdrawn = Vset.diff t.current next in
+    let delta = { announced = Vset.diff next t.current; withdrawn = Vset.diff t.current next } in
     t.serial <- Serial.succ t.serial;
     t.current <- next;
-    t.history <- (t.serial, { announced; withdrawn }) :: t.history;
-    if List.length t.history > t.history_limit then
-      t.history <- List.filteri (fun i _ -> i < t.history_limit) t.history;
+    t.epoch <- t.epoch + 1;
+    (* The one and only serialization of this serial's payload, however
+       many sessions it will be fanned out to. *)
+    let wire = Pdu.encode_all (delta_pdus ~tail:[] delta) in
+    t.stats <- { t.stats with delta_encodes = t.stats.delta_encodes + 1 };
+    t.history <- { serial = t.serial; delta; wire; epoch = t.epoch } :: t.history;
+    (* Single bounded take: either the window is full and the oldest
+       entry falls off, or the window grows by one. *)
+    if t.history_len = t.history_limit then t.history <- take t.history_limit t.history
+    else t.history_len <- t.history_len + 1;
+    t.oldest <- Serial.add t.serial (-t.history_len);
+    t.merged <- [];
+    t.snapshot <- None;
+    t.eod <- None;
+    t.notify <- None;
     Some (Pdu.Serial_notify { session_id = t.session_id; serial = t.serial })
   end
 
@@ -57,11 +135,10 @@ let state_at t s =
       | [] ->
         (* All retained deltas inverted: [state] is the oldest
            reconstructable serial. *)
-        if Serial.equal s (Serial.add t.serial (-List.length t.history)) then Some state
-        else None
-      | (serial_of_delta, d) :: rest ->
-        if Serial.leq serial_of_delta s then Some state
-        else roll_back (Vset.union (Vset.diff state d.announced) d.withdrawn) rest
+        if Serial.equal s t.oldest then Some state else None
+      | (e : entry) :: rest ->
+        if Serial.leq e.serial s then Some state
+        else roll_back (Vset.union (Vset.diff state e.delta.announced) e.delta.withdrawn) rest
     in
     roll_back t.current t.history
 
@@ -73,23 +150,28 @@ let end_of_data t =
       retry_interval = t.retry_interval;
       expire_interval = t.expire_interval }
 
-let response_of_diff t ~announce ~withdraw =
-  Pdu.Cache_response { session_id = t.session_id }
-  :: (Vset.fold (fun v acc -> Pdu.Prefix { flags = Pdu.Announce; vrp = v } :: acc) announce []
-      @ Vset.fold (fun v acc -> Pdu.Prefix { flags = Pdu.Withdraw; vrp = v } :: acc) withdraw [])
-  @ [ end_of_data t ]
+(* --- the reference (PDU-structure) path ---------------------------- *)
+
+(* An incremental response carries the minimal squashed diff between
+   the state at [since] and the current state — one announce or
+   withdraw per VRP that actually changed, however many serials the
+   window spans. Squashing matters beyond tidiness: catch-up
+   responses cross the same faulty links as everything else, and
+   their failure probability grows with their length. *)
+let catch_up_delta t ~since_state =
+  { announced = Vset.diff t.current since_state; withdrawn = Vset.diff since_state t.current }
 
 let handle t query =
   match query with
-  | Pdu.Reset_query -> response_of_diff t ~announce:t.current ~withdraw:Vset.empty
+  | Pdu.Reset_query ->
+    Pdu.Cache_response { session_id = t.session_id }
+    :: delta_pdus ~tail:[ end_of_data t ] { announced = t.current; withdrawn = Vset.empty }
   | Pdu.Serial_query { session_id; serial = since } ->
-    if session_id <> t.session_id then [ Pdu.Cache_reset ]
-    else
-      (match state_at t since with
-       | None -> [ Pdu.Cache_reset ]
-       | Some old_state ->
-         response_of_diff t ~announce:(Vset.diff t.current old_state)
-           ~withdraw:(Vset.diff old_state t.current))
+    (match (if session_id <> t.session_id then None else state_at t since) with
+     | None -> [ Pdu.Cache_reset ]
+     | Some since_state ->
+       Pdu.Cache_response { session_id = t.session_id }
+       :: delta_pdus ~tail:[ end_of_data t ] (catch_up_delta t ~since_state))
   | Pdu.Error_report _ ->
     (* RFC 8210 §5.11: never answer an Error Report with an Error
        Report. The error is terminal for the connection; the transport
@@ -100,3 +182,84 @@ let handle t query =
         { code = Pdu.Invalid_request;
           erroneous_pdu = Pdu.encode other;
           message = "cache expected Reset Query or Serial Query" } ]
+
+(* --- the encode-once wire path ------------------------------------- *)
+
+let eod_wire t =
+  match t.eod with
+  | Some w -> w
+  | None ->
+    let w = Pdu.encode (end_of_data t) in
+    t.eod <- Some w;
+    w
+
+let notify_wire t =
+  match t.notify with
+  | Some w -> w
+  | None ->
+    let w = Pdu.encode (Pdu.Serial_notify { session_id = t.session_id; serial = t.serial }) in
+    t.notify <- Some w;
+    w
+
+(* The full-set encoding is materialized on the first Reset Query
+   after a serial bump and reused until the next bump; the epoch tag
+   is the staleness check. *)
+let snapshot_wire t =
+  match t.snapshot with
+  | Some (epoch, w) when epoch = t.epoch ->
+    t.stats <- { t.stats with snapshot_reuses = t.stats.snapshot_reuses + 1 };
+    w
+  | Some _ | None ->
+    let w = Pdu.encode_all (delta_pdus ~tail:[] { announced = t.current; withdrawn = Vset.empty }) in
+    t.snapshot <- Some (t.epoch, w);
+    t.stats <- { t.stats with snapshot_encodes = t.stats.snapshot_encodes + 1 };
+    w
+
+let count_response t ~fresh wires =
+  let total = List.fold_left (fun acc w -> acc + String.length w) 0 wires in
+  t.stats <-
+    { t.stats with
+      wire_responses = t.stats.wire_responses + 1;
+      shared_bytes = t.stats.shared_bytes + (total - fresh);
+      fresh_bytes = t.stats.fresh_bytes + fresh };
+  List.filter (fun w -> String.length w > 0) wires
+
+(* The shared catch-up segment for [since]. Three tiers, none of which
+   scale with the session count: a query at the current serial has an
+   empty payload; a query one serial back is answered by the newest
+   entry's eagerly-encoded wire (the dominant, notify-driven refresh
+   case — its delta *is* the minimal diff); anything deeper is a
+   squashed diff encoded on first demand and memoized until the next
+   serial bump. *)
+let merged_wire t since ~since_state =
+  if Serial.equal since t.serial then ""
+  else
+    match t.history with
+    | (e : entry) :: _ when Serial.equal since (Serial.add t.serial (-1)) -> e.wire
+    | _ ->
+      (match List.find_opt (fun (s, _) -> Serial.equal s since) t.merged with
+       | Some (_, w) -> w
+       | None ->
+         let w = Pdu.encode_all (delta_pdus ~tail:[] (catch_up_delta t ~since_state)) in
+         t.merged <- (since, w) :: t.merged;
+         t.stats <- { t.stats with merge_encodes = t.stats.merge_encodes + 1 };
+         w)
+
+let handle_wire t query =
+  match query with
+  | Pdu.Reset_query -> count_response t ~fresh:0 [ t.header_wire; snapshot_wire t; eod_wire t ]
+  | Pdu.Serial_query { session_id; serial = since } ->
+    (match (if session_id <> t.session_id then None else state_at t since) with
+     | None -> count_response t ~fresh:0 [ cache_reset_wire ]
+     | Some since_state ->
+       count_response t ~fresh:0 [ t.header_wire; merged_wire t since ~since_state; eod_wire t ])
+  | Pdu.Error_report _ -> []
+  | other ->
+    let wire =
+      Pdu.encode
+        (Pdu.Error_report
+           { code = Pdu.Invalid_request;
+             erroneous_pdu = Pdu.encode other;
+             message = "cache expected Reset Query or Serial Query" })
+    in
+    count_response t ~fresh:(String.length wire) [ wire ]

@@ -126,8 +126,7 @@ let header buf ~pdu_type ~field ~length =
 
 let v4_net p = Netaddr.Ipv4.to_int (Netaddr.Ipv4.Prefix.network p)
 
-let encode pdu =
-  let buf = Buffer.create 32 in
+let encode_into buf pdu =
   (match pdu with
    | Serial_notify { session_id; serial } ->
      header buf ~pdu_type:0 ~field:session_id ~length:12;
@@ -176,7 +175,16 @@ let encode pdu =
      add_u32i buf (String.length erroneous_pdu);
      Buffer.add_string buf erroneous_pdu;
      add_u32i buf (String.length message);
-     Buffer.add_string buf message);
+     Buffer.add_string buf message)
+
+let encode pdu =
+  let buf = Buffer.create 32 in
+  encode_into buf pdu;
+  Buffer.contents buf
+
+let encode_all pdus =
+  let buf = Buffer.create 256 in
+  List.iter (encode_into buf) pdus;
   Buffer.contents buf
 
 (* --- decoding --- *)

@@ -45,7 +45,19 @@ val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 
 val encode : t -> string
-(** Wire bytes of one PDU. *)
+(** Wire bytes of one PDU. Outside [lib/rtr] itself, per-PDU encoding
+    is lint-restricted (rule R6): the serving plane must go through
+    {!Cache_server}'s shared buffers or {!encode_all}. *)
+
+val encode_into : Buffer.t -> t -> unit
+(** Append one PDU's wire bytes to a buffer. [encode pdu] is exactly
+    [encode_into] on a fresh buffer, so segments built by repeated
+    [encode_into] are byte-identical to the concatenation of
+    per-PDU [encode]s. *)
+
+val encode_all : t list -> string
+(** One contiguous wire buffer holding the PDUs back to back — a
+    single allocation however many PDUs are in the run. *)
 
 val decode : string -> int -> (t * int, string) result
 (** [decode buf off] parses one PDU starting at [off]; returns it and

@@ -159,7 +159,9 @@ let disconnected t ~now =
    own recovery. *)
 let violation t ~code ~pdu msg =
   t.stats <- { t.stats with violations = t.stats.violations + 1 };
-  send t (Pdu.Error_report { code; erroneous_pdu = Pdu.encode pdu; message = msg });
+  (* The offending PDU is echoed back verbatim inside the report: a
+     one-off encode of a single PDU, not fan-out serving. *)
+  send t (Pdu.Error_report { code; erroneous_pdu = (Pdu.encode pdu [@lint.encode_ok]); message = msg });
   t.want_disconnect <- true;
   t.staging <- Vset.empty;
   t.deadline <- None;

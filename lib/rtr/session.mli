@@ -3,7 +3,9 @@
     Wires a {!Cache_server} to one or more {!Router_client}s through
     the real wire encoding: every PDU crosses the "link" as bytes and
     is re-decoded on the other side, so the full protocol stack is
-    exercised even in unit tests. Pumping is synchronous and
+    exercised even in unit tests. Responses travel as the cache's
+    shared encode-once segments ({!Cache_server.handle_wire}) — the
+    cache never re-serializes per router. Pumping is synchronous and
     deterministic. *)
 
 type t

@@ -1,0 +1,7 @@
+(* R6 fixture: per-PDU encoding outside the encode-once core — the
+   exact O(sessions x PDUs) pattern the fan-out refactor removed. *)
+
+let serve_per_session pdus sessions =
+  List.concat_map (fun _session -> List.map Pdu.encode pdus) sessions
+
+let notify_each routers pdu = List.iter (fun send -> send (Rtr.Pdu.encode pdu)) routers

@@ -1,0 +1,2 @@
+val serve_per_session : 'a list -> 'b list -> string list
+val notify_each : ((string -> unit) -> unit) list -> 'a -> unit

@@ -1,0 +1,11 @@
+(* R6 fixture: the sanctioned ways to produce wire bytes outside the
+   encode-once core. *)
+
+let batch pdus = Pdu.encode_all pdus
+let into buf pdu = Pdu.encode_into buf pdu
+
+(* A genuine one-off (an Error Report echoing the offending PDU). *)
+let error_echo pdu = (Pdu.encode pdu [@lint.encode_ok])
+
+(* Whole-binding waiver. *)
+let echo_twice pdu = Pdu.encode pdu ^ Pdu.encode pdu [@@lint.encode_ok]

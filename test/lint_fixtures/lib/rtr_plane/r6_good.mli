@@ -1,0 +1,4 @@
+val batch : 'a list -> string
+val into : 'b -> 'a -> unit
+val error_echo : 'a -> string
+val echo_twice : 'a -> string

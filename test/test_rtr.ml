@@ -2,6 +2,7 @@
    machines, including incremental sync and reset recovery. *)
 
 module Pdu = Rtr.Pdu
+module Serial = Rtr.Serial
 module Cache = Rtr.Cache_server
 module Router = Rtr.Router_client
 module Vrp = Rpki.Vrp
@@ -479,6 +480,97 @@ let prop_framer_never_raises =
       | Ok [ Pdu.Reset_query ] -> true
       | Ok _ | Error _ -> false)
 
+(* --- encode-once fan-out (satellite: wire path equals reference) --- *)
+
+let wire_of_pdus pdus = String.concat "" (List.map Pdu.encode pdus)
+
+let prop_wire_path_matches_reference =
+  (* The encode-once path must be byte-identical to the reference path
+     under every query kind — the old per-PDU encoder serves as the
+     oracle. Each query runs twice so the memoized (snapshot, merged
+     catch-up) branches are exercised too. *)
+  let open QCheck2 in
+  Test.make ~name:"handle_wire bytes equal per-PDU encoding of handle" ~count:100
+    Gen.(pair (int_range 1 14) (int_range 0 10_000))
+    (fun (updates, salt) ->
+      let rng = Rng.create salt in
+      let cache = Cache.create ~history_limit:4 ~initial_serial:0xFFFF_FFFDl [] in
+      let serials = ref [ Cache.serial cache ] in
+      for _ = 1 to updates do
+        let vrps =
+          List.init (Rng.int rng 6) (fun _ ->
+              Vrp.exact (p (Printf.sprintf "10.%d.%d.0/24" (Rng.int rng 4) (Rng.int rng 4))) (a 1))
+        in
+        ignore (Cache.update cache vrps);
+        serials := Cache.serial cache :: !serials
+      done;
+      let sid = Cache.session_id cache in
+      let queries =
+        Pdu.Reset_query
+        :: Pdu.Serial_query { session_id = sid + 1; serial = Cache.serial cache }
+        :: Pdu.Cache_reset (* not a query: Error Report path *)
+        :: Pdu.Error_report { code = Pdu.Internal_error; erroneous_pdu = ""; message = "" }
+        :: List.map (fun serial -> Pdu.Serial_query { session_id = sid; serial }) !serials
+      in
+      List.for_all
+        (fun q ->
+          let reference = wire_of_pdus (Cache.handle cache q) in
+          String.equal reference (String.concat "" (Cache.handle_wire cache q))
+          && String.equal reference (String.concat "" (Cache.handle_wire cache q)))
+        queries)
+
+let test_encode_once_fanout () =
+  (* Serving N sessions costs one delta encode per update and one
+     snapshot encode per bump — however large N grows. *)
+  let cache = Cache.create ~history_limit:8 vrps1 in
+  let updates = [ vrps2; vrps1; vrps2 ] in
+  List.iter (fun u -> ignore (Cache.update cache u)) updates;
+  let sid = Cache.session_id cache in
+  let sessions = 50 in
+  let prev = Serial.add (Cache.serial cache) (-1) in
+  let deep = Serial.add (Cache.serial cache) (-3) in
+  for _ = 1 to sessions do
+    ignore (Cache.handle_wire cache Pdu.Reset_query);
+    ignore (Cache.handle_wire cache (Pdu.Serial_query { session_id = sid; serial = prev }));
+    ignore (Cache.handle_wire cache (Pdu.Serial_query { session_id = sid; serial = deep }))
+  done;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "one delta encode per update" (List.length updates) s.Cache.delta_encodes;
+  Alcotest.(check int) "one snapshot encode for all sessions" 1 s.Cache.snapshot_encodes;
+  Alcotest.(check int) "every further reset reuses it" (sessions - 1) s.Cache.snapshot_reuses;
+  Alcotest.(check int) "one merged catch-up encode for all sessions" 1 s.Cache.merge_encodes;
+  Alcotest.(check int) "every wire query answered" (3 * sessions) s.Cache.wire_responses
+
+let test_retention_bounded () =
+  (* Evicted serials must release their buffers: across 10x
+     history_limit further updates of identical shape, the cached
+     bytes — with every lazy segment (snapshot, End of Data, notify,
+     one deep catch-up) materialized — must not grow. *)
+  let limit = 4 in
+  let cache = Cache.create ~history_limit:limit [] in
+  let shape i = [ List.nth vrps1 (i mod 2) ] in
+  let sid = Cache.session_id cache in
+  let materialize () =
+    ignore (Cache.handle_wire cache Pdu.Reset_query);
+    ignore (Cache.notify_wire cache);
+    ignore
+      (Cache.handle_wire cache
+         (Pdu.Serial_query { session_id = sid; serial = Cache.oldest_serial cache }));
+    Cache.retained_bytes cache
+  in
+  (* Fill the window, plus one alternation cycle to reach steady state. *)
+  let baseline = ref 0 in
+  for i = 1 to limit + 2 do
+    ignore (Cache.update cache (shape i));
+    baseline := max !baseline (materialize ())
+  done;
+  for i = limit + 3 to limit + 2 + (10 * limit) do
+    ignore (Cache.update cache (shape i));
+    let b = materialize () in
+    if b > !baseline then
+      Alcotest.failf "retained bytes grew after eviction: %d > %d (update %d)" b !baseline i
+  done
+
 let () =
   Alcotest.run "rtr"
     [ ( "wire",
@@ -504,8 +596,11 @@ let () =
           Alcotest.test_case "unknown session" `Quick test_unknown_session_resets;
           Alcotest.test_case "recovers from cache reset" `Quick test_router_recovers_from_cache_reset;
           Alcotest.test_case "protocol violations" `Quick test_protocol_violations ] );
+      ( "fan-out",
+        [ Alcotest.test_case "encode once per update" `Quick test_encode_once_fanout;
+          Alcotest.test_case "retention bounded" `Quick test_retention_bounded ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_sync_reaches_cache_state; prop_pdu_roundtrip;
-            prop_cache_answers_every_retained_serial; prop_framer_rechunk_equivalence;
-            prop_framer_never_raises ] ) ]
+            prop_cache_answers_every_retained_serial; prop_wire_path_matches_reference;
+            prop_framer_rechunk_equivalence; prop_framer_never_raises ] ) ]

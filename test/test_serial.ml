@@ -166,6 +166,53 @@ let test_no_reset_loop_over_long_wrap_run () =
       Alcotest.(check bool) "state equal" true (Vset.equal (Router.vrps r) (Cache.vrps cache)))
     (Rtr.Session.routers session)
 
+let test_state_at_boundaries () =
+  (* The eviction edge, exactly: with [history_limit] deltas retained,
+     [oldest_serial] is reconstructable and the serial one before it is
+     not — checked on both sides of the 0xFFFFFFFF -> 0 wrap. *)
+  let cache = Cache.create ~history_limit:4 ~initial_serial:0xFFFFFFFEl (vrps_at 0) in
+  for i = 1 to 6 do
+    ignore (Cache.update cache (vrps_at i))
+  done;
+  (* Serials ran 0xFFFFFFFE..4; the window holds the last 4 deltas, so
+     the oldest reconstructable state is serial 0. *)
+  Alcotest.(check int32) "current serial" 4l (Cache.serial cache);
+  Alcotest.(check int32) "tracked oldest serial" 0l (Cache.oldest_serial cache);
+  (match Cache.state_at cache 0l with
+   | Some state ->
+     Alcotest.(check bool) "state at the eviction edge is exact" true
+       (Vset.equal state (Vset.of_list (vrps_at 2)))
+   | None -> Alcotest.fail "oldest retained serial must be reconstructable");
+  Alcotest.(check bool) "one past the edge (pre-wrap serial) is evicted" true
+    (Cache.state_at cache 0xFFFFFFFFl = None);
+  Alcotest.(check bool) "far future serial is unknown" true
+    (Cache.state_at cache 5l = None);
+  (* A full window straddling the wrap: nothing evicted yet, so the
+     initial serial itself is still the oldest and still answers. *)
+  let cache = Cache.create ~history_limit:8 ~initial_serial:0xFFFFFFFCl (vrps_at 0) in
+  for i = 1 to 8 do
+    ignore (Cache.update cache (vrps_at i))
+  done;
+  Alcotest.(check int32) "wrapped current serial" 4l (Cache.serial cache);
+  Alcotest.(check int32) "oldest is the initial serial" 0xFFFFFFFCl (Cache.oldest_serial cache);
+  (match Cache.state_at cache 0xFFFFFFFCl with
+   | Some state ->
+     Alcotest.(check bool) "initial state recovered across the wrap" true
+       (Vset.equal state (Vset.of_list (vrps_at 0)))
+   | None -> Alcotest.fail "full window must reach back to the initial serial");
+  Alcotest.(check bool) "one before the initial serial is unknown" true
+    (Cache.state_at cache 0xFFFFFFFBl = None);
+  (* Every retained serial in between reconstructs exactly. *)
+  for i = 0 to 8 do
+    match Cache.state_at cache (Serial.add 0xFFFFFFFCl i) with
+    | Some state ->
+      Alcotest.(check bool)
+        (Printf.sprintf "state %d across the wrap is exact" i)
+        true
+        (Vset.equal state (Vset.of_list (vrps_at i)))
+    | None -> Alcotest.failf "retained serial %d not reconstructable" i
+  done
+
 let () =
   Alcotest.run "serial"
     [ ( "rfc1982",
@@ -181,7 +228,8 @@ let () =
             test_router_increments_across_wrap;
           Alcotest.test_case "stale notify ignored" `Quick test_stale_notify_ignored_across_wrap;
           Alcotest.test_case "40 updates, no reset loop" `Quick
-            test_no_reset_loop_over_long_wrap_run ] );
+            test_no_reset_loop_over_long_wrap_run;
+          Alcotest.test_case "state_at boundaries" `Quick test_state_at_boundaries ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_strict_order_in_window; prop_succ_monotone_around_wrap ] ) ]

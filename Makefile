@@ -11,9 +11,10 @@ SMOKE_JSON := BENCH_smoke.json
 VALIDATE_SMOKE_JSON := BENCH_validate_smoke.json
 SIM_SMOKE_JSON := BENCH_rtr_smoke.json
 FANOUT_SMOKE_JSON := BENCH_rtr_fanout_smoke.json
+ARENA_SMOKE_JSON := BENCH_arena_smoke.json
 
 .PHONY: build test lint check bench bench-smoke bench-validate-smoke sim-smoke \
-	bench-fanout-smoke clean
+	bench-fanout-smoke bench-arena-smoke clean
 
 build:
 	dune build
@@ -49,6 +50,26 @@ bench-validate-smoke:
 	@! grep -q '"agrees": false' $(VALIDATE_SMOKE_JSON) || \
 		{ echo "bench-validate-smoke: parallel validation drifted from sequential"; exit 1; }
 	@echo "bench-validate-smoke: OK"
+
+# Arena smoke: a small-scale arena-vs-record run must produce
+# BENCH_arena.json with every per-query output element-wise identical
+# to the record oracle and the arena side strictly faster on every
+# workload (the bench exits non-zero on either violation; the greps
+# double-check the recorded verdicts).
+bench-arena-smoke:
+	rm -f $(ARENA_SMOKE_JSON)
+	BENCH_SCALE=0.05 RPKI_DOMAINS=2 BENCH_ONLY=arena \
+		BENCH_ARENA_JSON=$(ARENA_SMOKE_JSON) \
+		dune exec bench/main.exe
+	@test -f $(ARENA_SMOKE_JSON) || \
+		{ echo "bench-arena-smoke: $(ARENA_SMOKE_JSON) missing"; exit 1; }
+	@grep -q '"schema": "rpki-maxlen/bench-arena/v1"' $(ARENA_SMOKE_JSON) || \
+		{ echo "bench-arena-smoke: bad schema"; exit 1; }
+	@grep -q '"outputs_agree": true' $(ARENA_SMOKE_JSON) || \
+		{ echo "bench-arena-smoke: arena output diverged from the record oracle"; exit 1; }
+	@grep -q '"arena_faster": true' $(ARENA_SMOKE_JSON) || \
+		{ echo "bench-arena-smoke: arena path not strictly faster"; exit 1; }
+	@echo "bench-arena-smoke: OK"
 
 # Fault-injection smoke: a reduced RTR sweep (every fault policy, a
 # handful of seeds) must satisfy the convergence invariant and replay
@@ -87,8 +108,9 @@ bench-fanout-smoke:
 clean:
 	dune clean
 	rm -f BENCH_compress.json BENCH_validate.json BENCH_rtr.json \
-		BENCH_rtr_fanout.json $(SMOKE_JSON) $(VALIDATE_SMOKE_JSON) \
-		$(SIM_SMOKE_JSON) $(FANOUT_SMOKE_JSON) $(LINT_JSON)
+		BENCH_rtr_fanout.json BENCH_arena.json $(SMOKE_JSON) \
+		$(VALIDATE_SMOKE_JSON) $(SIM_SMOKE_JSON) $(FANOUT_SMOKE_JSON) \
+		$(ARENA_SMOKE_JSON) $(LINT_JSON)
 
 LINT_JSON := LINT_report.json
 
@@ -99,7 +121,7 @@ lint:
 	@echo "lint: OK (report in $(LINT_JSON))"
 
 # The one-stop gate: build everything, run the test suites, lint the
-# tree, and smoke-check the parallel pipelines, the RTR simulator and
-# the encode-once fan-out.
-check: build test lint bench-smoke sim-smoke bench-fanout-smoke
+# tree, and smoke-check the parallel pipelines, the RTR simulator, the
+# encode-once fan-out and the arena-vs-record data plane.
+check: build test lint bench-smoke sim-smoke bench-fanout-smoke bench-arena-smoke
 	@echo "check: OK"

@@ -13,7 +13,8 @@
                    Domain.recommended_domain_count; 1 = sequential)
      BENCH_ONLY    comma-separated subset of sections to run, among
                    section6, audit, table1, figure3, attack, compress,
-                   validate, rtr, fanout, ablation, micro (default: all)
+                   validate, arena, rtr, fanout, ablation, micro
+                   (default: all)
      BENCH_JSON    output path for the machine-readable compression
                    benchmark (default BENCH_compress.json)
      BENCH_VALIDATE_JSON
@@ -30,7 +31,13 @@
                    fan-out scale bench (default 1000,10000,100000)
      BENCH_FANOUT_JSON
                    output path for the machine-readable fan-out bench
-                   (default BENCH_rtr_fanout.json) *)
+                   (default BENCH_rtr_fanout.json)
+     BENCH_ARENA_REPEATS
+                   timed repetitions per arena-vs-record workload; the
+                   minimum wall is kept on both sides (default 3)
+     BENCH_ARENA_JSON
+                   output path for the machine-readable arena-vs-record
+                   comparison (default BENCH_arena.json) *)
 
 let getenv_float name default =
   match Sys.getenv_opt name with
@@ -76,6 +83,13 @@ let fanout_json_path =
   match Sys.getenv_opt "BENCH_FANOUT_JSON" with
   | Some p when p <> "" -> p
   | Some _ | None -> "BENCH_rtr_fanout.json"
+
+let arena_repeats = max 1 (getenv_int "BENCH_ARENA_REPEATS" 3)
+
+let arena_json_path =
+  match Sys.getenv_opt "BENCH_ARENA_JSON" with
+  | Some p when p <> "" -> p
+  | Some _ | None -> "BENCH_arena.json"
 
 let only_sections =
   match Sys.getenv_opt "BENCH_ONLY" with
@@ -229,6 +243,8 @@ let write_bench_json path results =
   let spf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   spf "{\n";
   spf "  \"schema\": \"rpki-maxlen/bench-compress/v1\",\n";
+  spf "  \"ocaml_version\": %S,\n" Sys.ocaml_version;
+  spf "  \"word_size\": %d,\n" Sys.word_size;
   spf "  \"seed\": %d,\n" seed;
   spf "  \"scale\": %g,\n" scale;
   spf "  \"rpki_domains\": %d,\n" domains;
@@ -335,6 +351,8 @@ let write_validate_json path results =
   let spf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   spf "{\n";
   spf "  \"schema\": \"rpki-maxlen/bench-validate/v1\",\n";
+  spf "  \"ocaml_version\": %S,\n" Sys.ocaml_version;
+  spf "  \"word_size\": %d,\n" Sys.word_size;
   spf "  \"seed\": %d,\n" seed;
   spf "  \"scale\": %g,\n" scale;
   spf "  \"rpki_domains\": %d,\n" domains;
@@ -396,6 +414,256 @@ let section_validate snap =
   if List.exists (fun r -> List.exists (fun run -> not run.v_agrees) r.v_runs) results
   then begin
     prerr_endline "BENCH FAILURE: parallel validation results diverged from sequential";
+    exit 1
+  end
+
+(* --- arena vs record data plane (BENCH_arena.json) --- *)
+
+(* The PR-7 acceptance bench: the flat-arena data plane (Validation,
+   Bgp_table, Compress) against the retained record-backed oracles
+   (Validation_oracle, Bgp_table_ref, Compress.run_reference). Every
+   per-query output is compared element-wise — not just a checksum —
+   and the section fails hard if the arena disagrees anywhere or is
+   not strictly faster than the record path (minimum wall over
+   [arena_repeats] repetitions on both sides, so a single noisy run
+   cannot flip the verdict either way). *)
+
+type a_run = { a_domains : int; a_wall : float; a_agrees : bool }
+
+type a_result = {
+  a_name : string;
+  a_queries : int;
+  a_record_wall : float;
+  a_arena_wall : float;
+  a_agree : bool;
+  a_runs : a_run list; (* the arena side under a domain pool *)
+}
+
+(* Each repeat starts from a fully settled heap: with the snapshot's
+   large live set resident, mark/sweep debt left by the previous run
+   (or by the other side's runs) otherwise taxes this run's
+   allocations with GC work that isn't its own — the record and arena
+   sides would contaminate each other's walls in whichever order they
+   were timed. [Gc.full_major], not [Gc.major]: one finished cycle
+   still leaves the previous run's garbage unswept (it died after that
+   cycle's mark snapshot), and the leftover sweep lands mid-repeat.
+
+   A sub-50ms workload is additionally batched: one stray scheduler
+   preemption or major slice is the same order as the whole wall, so a
+   single-run minimum is a coin flip at small bench scales. Looping to
+   a ~50ms floor and averaging amortizes the spikes identically for
+   both sides. *)
+let min_wall f =
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  ignore (Sys.opaque_identity (f ()));
+  let est = Unix.gettimeofday () -. t0 in
+  let iters =
+    if est >= 0.05 then 1 else min 64 (int_of_float (ceil (0.05 /. Float.max est 1e-6)))
+  in
+  let best = ref infinity in
+  for _ = 1 to arena_repeats do
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let w = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+    if w < !best then best := w
+  done;
+  !best
+
+(* [record] and [arena] both map a query index to a small int code.
+   Agreement is element-wise over the full code arrays; the timed runs
+   fill a preallocated scratch array so neither side pays allocation
+   the other doesn't. *)
+let bench_arena_workload name queries ~record ~arena =
+  let record_codes = Array.init queries record in
+  let arena_codes = Array.init queries arena in
+  let agree = Array.for_all2 Int.equal record_codes arena_codes in
+  let scratch = Array.make (max queries 1) 0 in
+  let fill f () =
+    for i = 0 to queries - 1 do
+      scratch.(i) <- f i
+    done
+  in
+  let record_wall = min_wall (fill record) in
+  let arena_wall = min_wall (fill arena) in
+  Printf.printf
+    "  %-28s %8d queries   record %8.1f ns/q   arena %8.1f ns/q   %5.2fx   %s\n" name queries
+    (ns_per_query record_wall queries)
+    (ns_per_query arena_wall queries)
+    (if arena_wall > 0.0 then record_wall /. arena_wall else 0.0)
+    (if agree then "identical" else "DIVERGED");
+  let idx = Array.init queries Fun.id in
+  let sum = Array.fold_left ( + ) 0 in
+  let expected = sum arena_codes in
+  let runs =
+    List.map
+      (fun d ->
+        Gc.major ();
+        let t0 = Unix.gettimeofday () in
+        let got =
+          sum
+            (Parallel.Pool.run ~domains:d (fun pool ->
+                 Parallel.Pool.parallel_map pool ~f:arena idx))
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let agrees = got = expected in
+        Printf.printf "  %-28s %d domains: %7.3f s   speedup %5.2fx   %s\n" "" d wall
+          (if wall > 0.0 then arena_wall /. wall else 0.0)
+          (if agrees then "agrees" else "DIVERGED");
+        { a_domains = d; a_wall = wall; a_agrees = agrees })
+      parallel_domain_counts
+  in
+  { a_name = name;
+    a_queries = queries;
+    a_record_wall = record_wall;
+    a_arena_wall = arena_wall;
+    a_agree = agree;
+    a_runs = runs }
+
+(* Whole-pipeline comparison: the arena compress (sequential and on a
+   domain pool) against the record-path reference, outputs compared as
+   full VRP lists. *)
+let bench_arena_compress (name, vrps) =
+  let record_out = Mlcore.Compress.run_reference vrps in
+  let arena_out = Mlcore.Compress.run ~domains:1 vrps in
+  let agree = List.equal Rpki.Vrp.equal record_out arena_out in
+  let record_wall = min_wall (fun () -> Mlcore.Compress.run_reference vrps) in
+  let arena_wall = min_wall (fun () -> Mlcore.Compress.run ~domains:1 vrps) in
+  Printf.printf "  %-28s %8d tuples    record %8.3f s     arena %8.3f s     %5.2fx   %s\n" name
+    (List.length vrps) record_wall arena_wall
+    (if arena_wall > 0.0 then record_wall /. arena_wall else 0.0)
+    (if agree then "identical" else "DIVERGED");
+  let runs =
+    List.map
+      (fun d ->
+        Gc.major ();
+        let t0 = Unix.gettimeofday () in
+        let out = Mlcore.Compress.run ~domains:d vrps in
+        let wall = Unix.gettimeofday () -. t0 in
+        let agrees = List.equal Rpki.Vrp.equal out record_out in
+        Printf.printf "  %-28s %d domains: %7.3f s   speedup %5.2fx   %s\n" "" d wall
+          (if wall > 0.0 then arena_wall /. wall else 0.0)
+          (if agrees then "agrees" else "DIVERGED");
+        { a_domains = d; a_wall = wall; a_agrees = agrees })
+      parallel_domain_counts
+  in
+  { a_name = name;
+    a_queries = List.length vrps;
+    a_record_wall = record_wall;
+    a_arena_wall = arena_wall;
+    a_agree = agree;
+    a_runs = runs }
+
+(* Same hand-rolled style as [write_bench_json]; schema documented in
+   README.md. *)
+let write_arena_json path results =
+  let outputs_agree =
+    List.for_all (fun r -> r.a_agree && List.for_all (fun run -> run.a_agrees) r.a_runs) results
+  in
+  let arena_faster = List.for_all (fun r -> r.a_arena_wall < r.a_record_wall) results in
+  let buf = Buffer.create 2048 in
+  let spf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  spf "{\n";
+  spf "  \"schema\": \"rpki-maxlen/bench-arena/v1\",\n";
+  spf "  \"ocaml_version\": %S,\n" Sys.ocaml_version;
+  spf "  \"word_size\": %d,\n" Sys.word_size;
+  spf "  \"seed\": %d,\n" seed;
+  spf "  \"scale\": %g,\n" scale;
+  spf "  \"repeats\": %d,\n" arena_repeats;
+  spf "  \"rpki_domains\": %d,\n" domains;
+  spf "  \"outputs_agree\": %b,\n" outputs_agree;
+  spf "  \"arena_faster\": %b,\n" arena_faster;
+  spf "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      spf "    {\n";
+      spf "      \"name\": %S,\n" r.a_name;
+      spf "      \"queries\": %d,\n" r.a_queries;
+      spf "      \"record\": { \"wall_s\": %.6f, \"ns_per_query\": %.1f },\n" r.a_record_wall
+        (ns_per_query r.a_record_wall r.a_queries);
+      spf "      \"arena\": { \"wall_s\": %.6f, \"ns_per_query\": %.1f },\n" r.a_arena_wall
+        (ns_per_query r.a_arena_wall r.a_queries);
+      spf "      \"speedup_vs_record\": %.4f,\n"
+        (if r.a_arena_wall > 0.0 then r.a_record_wall /. r.a_arena_wall else 0.0);
+      spf "      \"outputs_identical\": %b,\n" r.a_agree;
+      spf "      \"parallel\": [\n";
+      List.iteri
+        (fun j run ->
+          spf
+            "        { \"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.4f, \"agrees\": %b }%s\n"
+            run.a_domains run.a_wall
+            (if run.a_wall > 0.0 then r.a_arena_wall /. run.a_wall else 0.0)
+            run.a_agrees
+            (if j = List.length r.a_runs - 1 then "" else ","))
+        r.a_runs;
+      spf "      ]\n";
+      spf "    }%s\n" (if i = List.length results - 1 then "" else ","))
+    results;
+  spf "  ]\n";
+  spf "}\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
+
+let section_arena snap =
+  banner
+    (Printf.sprintf
+       "Arena data plane: flat-arena store vs record oracle (min of %d runs each)" arena_repeats);
+  let table = snap.Dataset.Snapshot.table in
+  let vrps = Dataset.Snapshot.vrps snap in
+  let pairs = Array.of_list (Dataset.Bgp_table.pairs table) in
+  let n = Array.length pairs in
+  let adb = Rpki.Validation.create vrps in
+  let odb = Rpki.Validation_oracle.create vrps in
+  let rtable = Dataset.Bgp_table_ref.create () in
+  Array.iter (fun (p, a) -> Dataset.Bgp_table_ref.add rtable p a) pairs;
+  let state_code = function
+    | Rpki.Validation.Valid -> 1
+    | Rpki.Validation.Invalid -> 2
+    | Rpki.Validation.Not_found -> 3
+  in
+  let r_validate =
+    bench_arena_workload "validation/bulk-validate" n
+      ~record:(fun i ->
+        let p, a = pairs.(i) in
+        state_code (Rpki.Validation_oracle.validate odb p a))
+      ~arena:(fun i ->
+        let p, a = pairs.(i) in
+        state_code (Rpki.Validation.validate adb p a))
+  in
+  let r_ancestor =
+    bench_arena_workload "bgp_table/bulk-ancestor" n
+      ~record:(fun i ->
+        let p, a = pairs.(i) in
+        if Dataset.Bgp_table_ref.has_same_origin_ancestor rtable p a then 1 else 0)
+      ~arena:(fun i ->
+        let p, a = pairs.(i) in
+        if Dataset.Bgp_table.has_same_origin_ancestor table p a then 1 else 0)
+  in
+  let r_covering =
+    bench_arena_workload "validation/covering-count" n
+      ~record:(fun i -> Rpki.Validation_oracle.covering_count odb (fst pairs.(i)))
+      ~arena:(fun i -> Rpki.Validation.covering_count adb (fst pairs.(i)))
+  in
+  let r_compress = bench_arena_compress ("compress/today", vrps) in
+  let r_compress_full =
+    bench_arena_compress
+      ("compress/full_deployment", Mlcore.Minimal.full_deployment_vrps table)
+  in
+  let results = [ r_validate; r_ancestor; r_covering; r_compress; r_compress_full ] in
+  write_arena_json arena_json_path results;
+  Printf.printf "  wrote %s\n" arena_json_path;
+  if
+    List.exists
+      (fun r -> (not r.a_agree) || List.exists (fun run -> not run.a_agrees) r.a_runs)
+      results
+  then begin
+    prerr_endline "BENCH FAILURE: arena output diverged from the record oracle";
+    exit 1
+  end;
+  if List.exists (fun r -> r.a_arena_wall >= r.a_record_wall) results then begin
+    prerr_endline "BENCH FAILURE: arena path not strictly faster than the record path";
     exit 1
   end
 
@@ -484,6 +752,8 @@ let write_rtr_json path rows =
   let spf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   spf "{\n";
   spf "  \"schema\": \"rpki-maxlen/bench-rtr/v1\",\n";
+  spf "  \"ocaml_version\": %S,\n" Sys.ocaml_version;
+  spf "  \"word_size\": %d,\n" Sys.word_size;
   spf "  \"seeds_per_policy\": %d,\n" rtr_seeds;
   spf "  \"all_ok\": %b,\n" all_ok;
   spf "  \"deterministic\": %b,\n" deterministic;
@@ -615,6 +885,8 @@ let write_fanout_json path rows =
   let spf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   spf "{\n";
   spf "  \"schema\": \"rpki-maxlen/bench-rtr-fanout/v1\",\n";
+  spf "  \"ocaml_version\": %S,\n" Sys.ocaml_version;
+  spf "  \"word_size\": %d,\n" Sys.word_size;
   spf "  \"seed\": %d,\n" seed;
   spf "  \"mix\": [%s],\n"
     (String.concat ", " (List.map (fun p -> Printf.sprintf "%S" p.Netsim.Fault.name) fanout_mix));
@@ -818,6 +1090,7 @@ let () =
   section "attack" attack_eval;
   section "compress" (fun () -> section72 (Lazy.force snap));
   section "validate" (fun () -> section_validate (Lazy.force snap));
+  section "arena" (fun () -> section_arena (Lazy.force snap));
   section "rtr" section_rtr;
   section "fanout" section_fanout;
   section "ablation" (fun () -> ablation (Lazy.force snap));

@@ -1,0 +1,286 @@
+module Pfx = Netaddr.Pfx
+module K = Pfx_key
+
+(* Arena-backed BGP table: announced (prefix, origin AS) pairs. One
+   {!Itrie} per family; a bound prefix's trie [value] heads a chain of
+   origin entries in two columns:
+
+   - [o_asn]  the origin ASN (plain int; -1 marks a freed slot);
+   - [o_nxt]  next entry, or -1.
+
+   Chains are kept sorted ascending by ASN — the same order
+   [Asnum.Set] iteration gave the record-backed table, so folds and
+   origin lists are bit-identical to the oracle. The trie node's [aux]
+   slot caches the chain length: the per-prefix announcement counter,
+   maintained in place by add/remove.
+
+   [ases] tracks every ASN ever added (the record table's semantics:
+   its AS census never shrank because it had no removal). *)
+
+type t = {
+  v4 : Itrie.t;
+  v6 : Itrie.t;
+  mutable o_asn : int array;
+  mutable o_nxt : int array;
+  mutable e_used : int;
+  mutable e_free : int;
+  mutable count : int;
+  ases : (int, unit) Hashtbl.t;
+}
+
+let create ?(capacity = 64) () =
+  let cap = if capacity < 8 then 8 else capacity in
+  {
+    v4 = Itrie.create ~capacity:cap Pfx.Afi_v4;
+    v6 = Itrie.create ~capacity:cap Pfx.Afi_v6;
+    o_asn = Array.make cap (-1);
+    o_nxt = Array.make cap (-1);
+    e_used = 0;
+    e_free = -1;
+    count = 0;
+    ases = Hashtbl.create 1024;
+  }
+
+let cardinal t = t.count
+let trie_for t p = match Pfx.afi p with Pfx.Afi_v4 -> t.v4 | Pfx.Afi_v6 -> t.v6
+let distinct_prefix_count t = Itrie.cardinal t.v4 + Itrie.cardinal t.v6
+let as_count t = Hashtbl.length t.ases
+
+let grow_entries t =
+  let cap = Array.length t.o_asn in
+  let ncap = cap * 2 in
+  let extend a =
+    let b = Array.make ncap (-1) in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  t.o_asn <- extend t.o_asn;
+  t.o_nxt <- extend t.o_nxt
+
+let alloc_entry t ~asn ~next =
+  let i =
+    if t.e_free >= 0 then begin
+      let i = t.e_free in
+      t.e_free <- t.o_nxt.(i);
+      i
+    end
+    else begin
+      if t.e_used >= Array.length t.o_asn then grow_entries t;
+      let i = t.e_used in
+      t.e_used <- t.e_used + 1;
+      i
+    end
+  in
+  t.o_asn.(i) <- asn;
+  t.o_nxt.(i) <- next;
+  i
+
+let free_entry t e =
+  t.o_asn.(e) <- -1;
+  t.o_nxt.(e) <- t.e_free;
+  t.e_free <- e
+
+let add t p ~asn =
+  Hashtbl.replace t.ases asn ();
+  let tr = trie_for t p in
+  let n = Itrie.probe tr p in
+  let head = Itrie.value tr n in
+  let added =
+    if head < 0 then begin
+      let e = alloc_entry t ~asn ~next:(-1) in
+      Itrie.set_value tr n e;
+      Itrie.set_aux tr n 1;
+      true
+    end
+    else if t.o_asn.(head) = asn then false
+    else if asn < t.o_asn.(head) then begin
+      let e = alloc_entry t ~asn ~next:head in
+      Itrie.set_value tr n e;
+      Itrie.set_aux tr n (Itrie.aux tr n + 1);
+      true
+    end
+    else begin
+      let rec ins e =
+        let nx = t.o_nxt.(e) in
+        if nx < 0 then begin
+          let fresh = alloc_entry t ~asn ~next:(-1) in
+          t.o_nxt.(e) <- fresh;
+          true
+        end
+        else if t.o_asn.(nx) = asn then false
+        else if t.o_asn.(nx) > asn then begin
+          let fresh = alloc_entry t ~asn ~next:nx in
+          t.o_nxt.(e) <- fresh;
+          true
+        end
+        else ins nx
+      in
+      let added = ins head in
+      if added then Itrie.set_aux tr n (Itrie.aux tr n + 1);
+      added
+    end
+  in
+  if added then t.count <- t.count + 1
+
+let remove t p ~asn =
+  let tr = trie_for t p in
+  let n = Itrie.find tr p in
+  if n < 0 || Itrie.value tr n < 0 then false
+  else begin
+    let head = Itrie.value tr n in
+    let removed =
+      if t.o_asn.(head) = asn then begin
+        let rest = t.o_nxt.(head) in
+        free_entry t head;
+        if rest < 0 then ignore (Itrie.remove tr p)
+        else begin
+          Itrie.set_value tr n rest;
+          Itrie.set_aux tr n (Itrie.aux tr n - 1)
+        end;
+        true
+      end
+      else begin
+        let rec unlink e =
+          let nx = t.o_nxt.(e) in
+          if nx < 0 then false
+          else if t.o_asn.(nx) = asn then begin
+            t.o_nxt.(e) <- t.o_nxt.(nx);
+            free_entry t nx;
+            true
+          end
+          else if t.o_asn.(nx) > asn then false
+          else unlink nx
+        in
+        let removed = unlink head in
+        if removed then Itrie.set_aux tr n (Itrie.aux tr n - 1);
+        removed
+      end
+    in
+    if removed then t.count <- t.count - 1;
+    removed
+  end
+
+(* --- hot queries ----------------------------------------------------- *)
+
+(* Ascending chains: stop as soon as the entry ASN passes the probe. *)
+let rec chain_mem o_asn o_nxt e asn =
+  e >= 0
+  && (o_asn.(e) = asn || (o_asn.(e) < asn && chain_mem o_asn o_nxt o_nxt.(e) asn))
+  [@@hot]
+
+let mem t p ~asn =
+  let tr = trie_for t p in
+  let n = Itrie.find tr p in
+  n >= 0 && chain_mem t.o_asn t.o_nxt (Itrie.value tr n) asn
+  [@@hot]
+
+(* Strict same-origin ancestor: a covering node shorter than the query
+   whose chain holds [asn]. One descent, no allocation. The columns
+   are hoisted into arguments (the structure cannot change mid-query)
+   and the v4 variant collapses the cover test to one xor+mask — an
+   IPv4 key lives entirely in chunk 0. *)
+let rec ancestor_v4 c0a lena vala lefta righta o_asn o_nxt q0 ql asn n =
+  let nl = lena.(n) in
+  nl < ql
+  && (q0 lxor c0a.(n)) land K.hi_mask nl = 0
+  && ((vala.(n) >= 0 && chain_mem o_asn o_nxt vala.(n) asn)
+     ||
+     let c = if (q0 lsr (31 - nl)) land 1 = 1 then righta.(n) else lefta.(n) in
+     c >= 0 && ancestor_v4 c0a lena vala lefta righta o_asn o_nxt q0 ql asn c)
+  [@@hot]
+
+let rec ancestor_v6 c0a c1a c2a c3a lena vala lefta righta o_asn o_nxt q0 q1 q2 q3 ql asn n =
+  let nl = lena.(n) in
+  nl < ql
+  && K.covers c0a.(n) c1a.(n) c2a.(n) c3a.(n) nl q0 q1 q2 q3 ql
+  && ((vala.(n) >= 0 && chain_mem o_asn o_nxt vala.(n) asn)
+     ||
+     let c = if K.bit q0 q1 q2 q3 nl then righta.(n) else lefta.(n) in
+     c >= 0
+     && ancestor_v6 c0a c1a c2a c3a lena vala lefta righta o_asn o_nxt q0 q1 q2 q3 ql asn c)
+  [@@hot]
+
+let has_same_origin_ancestor t p ~asn =
+  match p with
+  | Pfx.V4 _ ->
+    let tr = t.v4 in
+    ancestor_v4 tr.Itrie.c0 tr.Itrie.len tr.Itrie.value tr.Itrie.left tr.Itrie.right t.o_asn
+      t.o_nxt (K.c0 p) (Pfx.length p) asn Itrie.root
+  | Pfx.V6 _ ->
+    let tr = t.v6 in
+    ancestor_v6 tr.Itrie.c0 tr.Itrie.c1 tr.Itrie.c2 tr.Itrie.c3 tr.Itrie.len tr.Itrie.value
+      tr.Itrie.left tr.Itrie.right t.o_asn t.o_nxt (K.c0 p) (K.c1 p) (K.c2 p) (K.c3 p)
+      (Pfx.length p) asn Itrie.root
+  [@@hot]
+
+(* Per-length census of [asn]'s announcements under a subtree root,
+   accumulated straight into the caller's array. Children are strictly
+   longer than their parent, so the [max_len] bound prunes whole
+   subtrees. *)
+let rec count_go (tr : Itrie.t) o_asn o_nxt asn base max_len counts n =
+  if tr.Itrie.len.(n) <= max_len then begin
+    if tr.Itrie.value.(n) >= 0 && chain_mem o_asn o_nxt tr.Itrie.value.(n) asn then begin
+      let i = tr.Itrie.len.(n) - base in
+      counts.(i) <- counts.(i) + 1
+    end;
+    let l = tr.Itrie.left.(n) in
+    if l >= 0 then count_go tr o_asn o_nxt asn base max_len counts l;
+    let r = tr.Itrie.right.(n) in
+    if r >= 0 then count_go tr o_asn o_nxt asn base max_len counts r
+  end
+  [@@hot]
+
+let count_into t p ~asn ~base ~max_len counts =
+  let tr = trie_for t p in
+  let n = Itrie.subtree_root tr p in
+  if n >= 0 then count_go tr t.o_asn t.o_nxt asn base max_len counts n
+  [@@hot]
+
+(* --- views ----------------------------------------------------------- *)
+
+let origin_count t p =
+  let tr = trie_for t p in
+  let n = Itrie.find tr p in
+  if n < 0 || Itrie.value tr n < 0 then 0 else Itrie.aux tr n
+
+let fold_origins t p ~init ~f =
+  let tr = trie_for t p in
+  let n = Itrie.find tr p in
+  if n < 0 then init
+  else begin
+    let rec chain acc e = if e < 0 then acc else chain (f acc t.o_asn.(e)) t.o_nxt.(e) in
+    chain init (Itrie.value tr n)
+  end
+
+(* [asn]'s announcements covered by [p], in-order, as
+   [make prefix length] — built on the unwind, one cons per hit. *)
+let under_list t p ~asn ~make =
+  let tr = trie_for t p in
+  let o_asn = t.o_asn and o_nxt = t.o_nxt in
+  let rec go n tail =
+    let tail =
+      let r = tr.Itrie.right.(n) in
+      if r >= 0 then go r tail else tail
+    in
+    let tail =
+      let l = tr.Itrie.left.(n) in
+      if l >= 0 then go l tail else tail
+    in
+    let head = tr.Itrie.value.(n) in
+    if head >= 0 && chain_mem o_asn o_nxt head asn then
+      make (Itrie.prefix_at tr n) tr.Itrie.len.(n) :: tail
+    else tail
+  in
+  let n = Itrie.subtree_root tr p in
+  if n < 0 then [] else go n []
+
+let fold_all t ~init ~f =
+  let per_trie tr acc =
+    Itrie.fold_bound tr ~init:acc ~f:(fun acc n ->
+        let pfx = Itrie.prefix_at tr n in
+        let rec chain acc e =
+          if e < 0 then acc else chain (f acc pfx t.o_asn.(e)) t.o_nxt.(e)
+        in
+        chain acc (Itrie.value tr n))
+  in
+  per_trie t.v6 (per_trie t.v4 init)

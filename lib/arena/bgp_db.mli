@@ -1,0 +1,57 @@
+(** Arena-backed BGP table: the storage engine behind
+    {!Dataset.Bgp_table}.
+
+    One flat {!Itrie} per family; each announced prefix's trie [value]
+    heads an origin-ASN chain in parallel [int array] columns, sorted
+    ascending by ASN — the same iteration order as the record-backed
+    table's [Asnum.Set], so every fold is bit-identical to the oracle.
+    The trie [aux] slot carries the per-prefix origin count. ASNs
+    cross this interface as plain ints.
+
+    The paper's hot queries — membership, same-origin ancestor, the
+    per-length census behind minimality checks — are single
+    allocation-free descents ([@@hot], enforced by lint rule R7). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val cardinal : t -> int
+(** Number of announced (prefix, origin) pairs. *)
+
+val add : t -> Netaddr.Pfx.t -> asn:int -> unit
+(** Idempotent pair insert. *)
+
+val remove : t -> Netaddr.Pfx.t -> asn:int -> bool
+(** Withdraw a pair (freeing its entry slot, and the prefix's trie
+    node when no origin remains); [false] when absent. The AS census
+    ({!as_count}) is not decremented — it counts ASNs ever seen. *)
+
+val mem : t -> Netaddr.Pfx.t -> asn:int -> bool
+
+val has_same_origin_ancestor : t -> Netaddr.Pfx.t -> asn:int -> bool
+(** Some strict super-prefix of [p] is also announced by [asn]. *)
+
+val count_into :
+  t -> Netaddr.Pfx.t -> asn:int -> base:int -> max_len:int -> int array -> unit
+(** Census of [asn]'s announcements covered by [p]: adds 1 to
+    [counts.(len - base)] per announced pair of length [len <=
+    max_len], accumulating straight into the caller's array. *)
+
+val origin_count : t -> Netaddr.Pfx.t -> int
+(** How many ASes announce exactly this prefix (the per-prefix counter
+    held in the trie's [aux] column). *)
+
+val fold_origins : t -> Netaddr.Pfx.t -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Fold over the origins of exactly this prefix, ascending. *)
+
+val under_list :
+  t -> Netaddr.Pfx.t -> asn:int -> make:(Netaddr.Pfx.t -> int -> 'v) -> 'v list
+(** [asn]'s announced pairs covered by [p] as [make prefix length], in
+    trie order, built on the recursion's unwind. *)
+
+val fold_all : t -> init:'a -> f:('a -> Netaddr.Pfx.t -> int -> 'a) -> 'a
+(** Fold over every pair: v4 then v6, in-order, origins ascending. *)
+
+val distinct_prefix_count : t -> int
+val as_count : t -> int

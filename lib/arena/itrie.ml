@@ -1,0 +1,393 @@
+module Pfx = Netaddr.Pfx
+module K = Pfx_key
+
+(* Flat-arena Patricia trie: the path-compressed structure of [Ptrie]
+   with every node field stored column-wise in [int array]s instead of
+   a heap record per node. A node is an integer index; -1 ([nil]) is
+   the null pointer. Traversals therefore touch a handful of adjacent
+   arrays instead of chasing boxed records and options, and the whole
+   structure is invisible to the GC's minor heap.
+
+   Columns (index [i] is node [i]):
+   - [c0..c3]  the node's full prefix as four 32-bit chunks (chunk 0
+               most significant; IPv4 uses chunk 0 only);
+   - [len]     the prefix length — or -1, marking a freed slot;
+   - [left], [right]  child indices (or [nil]); for a freed slot,
+               [left] threads the freelist;
+   - [value]   the payload (>= 0), or -1 when no value is bound here
+               (branch nodes); payloads are caller-defined handles;
+   - [aux]     a second caller-defined int slot (-1 default).
+
+   Node 0 is the permanent /0 sentinel root, exactly as in [Ptrie],
+   and the same structural invariants hold (valued-or-fork interior
+   nodes, contraction on removal). Freed slots go on a freelist
+   threaded through [left] and are reused by the next allocation;
+   [len] = -1 marks them so stale handles are detectable. Growth
+   doubles the columns and never moves a live node: handles are stable
+   for the lifetime of the binding. *)
+
+type t = {
+  family : Pfx.afi;
+  mutable c0 : int array;
+  mutable c1 : int array;
+  mutable c2 : int array;
+  mutable c3 : int array;
+  mutable len : int array;
+  mutable left : int array;
+  mutable right : int array;
+  mutable value : int array;
+  mutable aux : int array;
+  mutable used : int;
+  mutable free_head : int;
+  mutable count : int;
+}
+
+let nil = -1
+let root = 0
+
+let create ?(capacity = 64) family =
+  let cap = if capacity < 8 then 8 else capacity in
+  {
+    family;
+    c0 = Array.make cap 0;
+    c1 = Array.make cap 0;
+    c2 = Array.make cap 0;
+    c3 = Array.make cap 0;
+    len = Array.make cap 0;
+    left = Array.make cap nil;
+    right = Array.make cap nil;
+    value = Array.make cap nil;
+    aux = Array.make cap nil;
+    (* slot 0 is the /0 root: zero chunks, zero length, no value *)
+    used = 1;
+    free_head = nil;
+    count = 0;
+  }
+
+let afi t = t.family
+let cardinal t = t.count
+let is_empty t = t.count = 0
+let capacity t = Array.length t.len
+
+let grow t =
+  let cap = Array.length t.len in
+  let ncap = cap * 2 in
+  let extend fill a =
+    let b = Array.make ncap fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  t.c0 <- extend 0 t.c0;
+  t.c1 <- extend 0 t.c1;
+  t.c2 <- extend 0 t.c2;
+  t.c3 <- extend 0 t.c3;
+  t.len <- extend 0 t.len;
+  t.left <- extend nil t.left;
+  t.right <- extend nil t.right;
+  t.value <- extend nil t.value;
+  t.aux <- extend nil t.aux
+
+(* Fresh node: children, value and aux all nil. Freed slots were
+   scrubbed on free; grown slots carry the fill value. *)
+let alloc t ~c0 ~c1 ~c2 ~c3 ~len =
+  let i =
+    if t.free_head >= 0 then begin
+      let i = t.free_head in
+      t.free_head <- t.left.(i);
+      t.left.(i) <- nil;
+      i
+    end
+    else begin
+      if t.used >= Array.length t.len then grow t;
+      let i = t.used in
+      t.used <- t.used + 1;
+      i
+    end
+  in
+  t.c0.(i) <- c0;
+  t.c1.(i) <- c1;
+  t.c2.(i) <- c2;
+  t.c3.(i) <- c3;
+  t.len.(i) <- len;
+  i
+
+let free_node t i =
+  t.len.(i) <- nil;
+  t.right.(i) <- nil;
+  t.value.(i) <- nil;
+  t.aux.(i) <- nil;
+  t.c0.(i) <- 0;
+  t.c1.(i) <- 0;
+  t.c2.(i) <- 0;
+  t.c3.(i) <- 0;
+  t.left.(i) <- t.free_head;
+  t.free_head <- i
+
+(* Rewind to the empty state while keeping the columns. [alloc] only
+   writes the chunk/len columns of the slot it hands out and relies on
+   children/value/aux being nil (the [create] fill, or [free_node]'s
+   scrub), so every previously-used slot must be scrubbed here; the
+   cost is proportional to the trie's previous population, with no
+   allocation and no GC pressure. *)
+let reset t =
+  for i = 0 to t.used - 1 do
+    t.left.(i) <- nil;
+    t.right.(i) <- nil;
+    t.value.(i) <- nil;
+    t.aux.(i) <- nil
+  done;
+  t.used <- 1;
+  t.free_head <- nil;
+  t.count <- 0
+
+let set_child t n dir c = if dir then t.right.(n) <- c else t.left.(n) <- c
+
+let check_family t p =
+  if Pfx.afi p <> t.family then invalid_arg "Itrie: address family mismatch"
+
+(* --- find-or-create descent (the arena's [add]/[update] core) ------- *)
+
+let rec probe_go t q0 q1 q2 q3 ql n =
+  (* invariant: node [n]'s prefix covers q *)
+  let nl = t.len.(n) in
+  if nl = ql then n
+  else begin
+    let dir = K.bit q0 q1 q2 q3 nl in
+    let c = if dir then t.right.(n) else t.left.(n) in
+    if c < 0 then begin
+      let m = alloc t ~c0:q0 ~c1:q1 ~c2:q2 ~c3:q3 ~len:ql in
+      set_child t n dir m;
+      m
+    end
+    else begin
+      let k =
+        K.common_length q0 q1 q2 q3 ql t.c0.(c) t.c1.(c) t.c2.(c) t.c3.(c) t.len.(c)
+      in
+      if k = t.len.(c) then probe_go t q0 q1 q2 q3 ql c
+      else if k = ql then begin
+        (* q sits on the edge above c: splice it in *)
+        let m = alloc t ~c0:q0 ~c1:q1 ~c2:q2 ~c3:q3 ~len:ql in
+        set_child t m (K.bit t.c0.(c) t.c1.(c) t.c2.(c) t.c3.(c) ql) c;
+        set_child t n dir m;
+        m
+      end
+      else begin
+        (* q and c diverge at bit k: fork with a branch node *)
+        let f =
+          alloc t ~c0:(q0 land K.hi_mask k) ~c1:(q1 land K.hi_mask (k - 32))
+            ~c2:(q2 land K.hi_mask (k - 64)) ~c3:(q3 land K.hi_mask (k - 96)) ~len:k
+        in
+        let m = alloc t ~c0:q0 ~c1:q1 ~c2:q2 ~c3:q3 ~len:ql in
+        set_child t f (K.bit q0 q1 q2 q3 k) m;
+        set_child t f (K.bit t.c0.(c) t.c1.(c) t.c2.(c) t.c3.(c) k) c;
+        set_child t n dir f;
+        m
+      end
+    end
+  end
+
+let probe_chunks t ~c0 ~c1 ~c2 ~c3 ~len = probe_go t c0 c1 c2 c3 len root
+
+let probe t p =
+  check_family t p;
+  probe_go t (K.c0 p) (K.c1 p) (K.c2 p) (K.c3 p) (Pfx.length p) root
+
+(* --- payload accessors --------------------------------------------- *)
+
+let value t i = t.value.(i)
+let aux t i = t.aux.(i)
+let set_aux t i v = t.aux.(i) <- v
+
+let set_value t i v =
+  if v < 0 then invalid_arg "Itrie.set_value: payloads must be >= 0";
+  if t.value.(i) < 0 then t.count <- t.count + 1;
+  t.value.(i) <- v
+
+(* Count-maintaining value override that also accepts -1 (unbind
+   without contraction) — the compress merge phase rebinds and absorbs
+   values at interior nodes it will walk again, so structural cleanup
+   is deferred to the trie's disposal. *)
+let override_value t i v =
+  (match (t.value.(i) >= 0, v >= 0) with
+  | false, true -> t.count <- t.count + 1
+  | true, false -> t.count <- t.count - 1
+  | _ -> ());
+  t.value.(i) <- v
+
+let prefix_at t i =
+  K.to_pfx t.family ~c0:t.c0.(i) ~c1:t.c1.(i) ~c2:t.c2.(i) ~c3:t.c3.(i) ~len:t.len.(i)
+
+(* --- exact lookup ---------------------------------------------------- *)
+
+let rec find_go t q0 q1 q2 q3 ql n =
+  let nl = t.len.(n) in
+  if nl >= ql then
+    if nl = ql && t.c0.(n) = q0 && t.c1.(n) = q1 && t.c2.(n) = q2 && t.c3.(n) = q3 then n
+    else nil
+  else begin
+    let c = if K.bit q0 q1 q2 q3 nl then t.right.(n) else t.left.(n) in
+    if c < 0 then nil else find_go t q0 q1 q2 q3 ql c
+  end
+
+let find_chunks t ~c0 ~c1 ~c2 ~c3 ~len = find_go t c0 c1 c2 c3 len root
+
+let find t p =
+  check_family t p;
+  find_go t (K.c0 p) (K.c1 p) (K.c2 p) (K.c3 p) (Pfx.length p) root
+
+(* --- removal with contraction ---------------------------------------- *)
+
+let rec remove_go t q0 q1 q2 q3 ql n =
+  let nl = t.len.(n) in
+  if nl = ql then begin
+    (* descent only passes through covering nodes, so n's prefix = q *)
+    if t.value.(n) >= 0 then begin
+      t.value.(n) <- nil;
+      t.aux.(n) <- nil;
+      t.count <- t.count - 1;
+      true
+    end
+    else false
+  end
+  else begin
+    let dir = K.bit q0 q1 q2 q3 nl in
+    let c = if dir then t.right.(n) else t.left.(n) in
+    if c < 0 then false
+    else begin
+      let k =
+        K.common_length q0 q1 q2 q3 ql t.c0.(c) t.c1.(c) t.c2.(c) t.c3.(c) t.len.(c)
+      in
+      if k <> t.len.(c) then false
+      else begin
+        let removed = remove_go t q0 q1 q2 q3 ql c in
+        (* contract c if the removal left it carrying no information;
+           its slot goes back on the freelist for reuse *)
+        if removed && t.value.(c) < 0 then begin
+          let l = t.left.(c) and r = t.right.(c) in
+          if l < 0 && r < 0 then begin
+            set_child t n dir nil;
+            free_node t c
+          end
+          else if l < 0 then begin
+            set_child t n dir r;
+            free_node t c
+          end
+          else if r < 0 then begin
+            set_child t n dir l;
+            free_node t c
+          end
+        end;
+        removed
+      end
+    end
+  end
+
+let remove_chunks t ~c0 ~c1 ~c2 ~c3 ~len = remove_go t c0 c1 c2 c3 len root
+
+let remove t p =
+  check_family t p;
+  remove_go t (K.c0 p) (K.c1 p) (K.c2 p) (K.c3 p) (Pfx.length p) root
+
+(* --- covering helpers ------------------------------------------------ *)
+
+let rec covering_max_go t q0 q1 q2 q3 ql n best =
+  if not (K.covers t.c0.(n) t.c1.(n) t.c2.(n) t.c3.(n) t.len.(n) q0 q1 q2 q3 ql) then best
+  else begin
+    let v = t.value.(n) in
+    let best = if v > best then v else best in
+    let nl = t.len.(n) in
+    if nl >= ql then best
+    else begin
+      let c = if K.bit q0 q1 q2 q3 nl then t.right.(n) else t.left.(n) in
+      if c < 0 then best else covering_max_go t q0 q1 q2 q3 ql c best
+    end
+  end
+
+let covering_max_chunks t ~c0 ~c1 ~c2 ~c3 ~len =
+  covering_max_go t c0 c1 c2 c3 len root nil
+
+(* Topmost node whose subtree holds exactly the stored prefixes covered
+   by the query (cf. [Ptrie.subtree_root]); [nil] when none. *)
+let rec subtree_go t q0 q1 q2 q3 ql n =
+  let nl = t.len.(n) in
+  if nl >= ql then
+    if K.covers q0 q1 q2 q3 ql t.c0.(n) t.c1.(n) t.c2.(n) t.c3.(n) nl then n else nil
+  else begin
+    let c = if K.bit q0 q1 q2 q3 nl then t.right.(n) else t.left.(n) in
+    if c < 0 then nil else subtree_go t q0 q1 q2 q3 ql c
+  end
+
+let subtree_root_chunks t ~c0 ~c1 ~c2 ~c3 ~len = subtree_go t c0 c1 c2 c3 len root
+
+let subtree_root t p =
+  check_family t p;
+  subtree_go t (K.c0 p) (K.c1 p) (K.c2 p) (K.c3 p) (Pfx.length p) root
+
+(* --- in-order traversal over bound nodes ----------------------------- *)
+
+let rec fold_node t n acc f =
+  let acc = if t.value.(n) >= 0 then f acc n else acc in
+  let acc =
+    let l = t.left.(n) in
+    if l >= 0 then fold_node t l acc f else acc
+  in
+  let r = t.right.(n) in
+  if r >= 0 then fold_node t r acc f else acc
+
+let fold_bound t ~init ~f = fold_node t root init f
+
+(* --- invariant audit (for the aliasing property tests) --------------- *)
+
+let self_check t =
+  let cap = Array.length t.len in
+  let seen = Array.make (if t.used = 0 then 1 else t.used) 0 in
+  (* 1 = reachable from the root, 2 = on the freelist *)
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  try
+    if cap < t.used then bad "capacity %d below used %d" cap t.used;
+    let reachable = ref 0 and valued = ref 0 in
+    let rec walk n =
+      if n < 0 || n >= t.used then bad "child index %d out of bounds" n;
+      if seen.(n) <> 0 then bad "node %d reached twice" n;
+      seen.(n) <- 1;
+      incr reachable;
+      let nl = t.len.(n) in
+      if nl < 0 then bad "reachable node %d is marked free" n;
+      if t.value.(n) >= 0 then incr valued;
+      if n <> root && t.value.(n) < 0 && (t.left.(n) < 0 || t.right.(n) < 0) then
+        bad "node %d is a valueless non-fork interior node" n;
+      let child c =
+        if c >= 0 then begin
+          if t.len.(c) <= nl then bad "child %d of %d does not extend it" c n;
+          if
+            not
+              (K.covers t.c0.(n) t.c1.(n) t.c2.(n) t.c3.(n) nl t.c0.(c) t.c1.(c)
+                 t.c2.(c) t.c3.(c) t.len.(c))
+          then bad "child %d of %d is not covered by it" c n;
+          walk c
+        end
+      in
+      child t.left.(n);
+      child t.right.(n)
+    in
+    walk root;
+    let freed = ref 0 in
+    let cursor = ref t.free_head in
+    while !cursor >= 0 do
+      let i = !cursor in
+      if i >= t.used then bad "freelist index %d out of bounds" i;
+      if seen.(i) = 1 then bad "freelist slot %d is reachable (aliased)" i;
+      if seen.(i) = 2 then bad "freelist slot %d linked twice" i;
+      seen.(i) <- 2;
+      if t.len.(i) >= 0 then bad "freelist slot %d not marked free" i;
+      if t.value.(i) >= 0 then bad "freelist slot %d still carries a value" i;
+      incr freed;
+      cursor := t.left.(i)
+    done;
+    if !reachable + !freed <> t.used then
+      bad "reachable %d + freed %d <> used %d (leaked slots)" !reachable !freed t.used;
+    if !valued <> t.count then bad "count %d but %d valued nodes" t.count !valued;
+    Ok ()
+  with Bad s -> fail "Itrie.self_check: %s" s

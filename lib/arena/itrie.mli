@@ -1,0 +1,118 @@
+(** Flat-arena Patricia trie: {!Ptrie}'s path-compressed structure with
+    node fields stored column-wise in [int array]s.
+
+    Nodes are integer handles; -1 is the null pointer. The payload is a
+    caller-defined non-negative int ([value], plus a second [aux]
+    slot), which the arena stores above this one use as heads of entry
+    chains or packed scalars. Handles are stable: growth copies the
+    columns but never renumbers a live node. Freed slots are threaded
+    on a freelist through the [left] column, marked by [len] = -1, and
+    reused by later insertions — {!self_check} audits that the
+    freelist and the reachable tree never alias.
+
+    The representation is exposed read-only so sibling hot paths
+    (validate, ancestor walks, the compression workers) can traverse
+    the columns directly without per-step function calls or closures;
+    all mutation goes through the operations below. *)
+
+type t = private {
+  family : Netaddr.Pfx.afi;
+  mutable c0 : int array;  (** prefix chunk 0 (most significant 32 bits) *)
+  mutable c1 : int array;
+  mutable c2 : int array;
+  mutable c3 : int array;
+  mutable len : int array;  (** prefix length; -1 marks a freed slot *)
+  mutable left : int array;  (** left child, or freelist link when freed *)
+  mutable right : int array;
+  mutable value : int array;  (** payload >= 0, or -1 when unbound *)
+  mutable aux : int array;  (** secondary payload slot, -1 default *)
+  mutable used : int;  (** high-water mark: all handles are < used *)
+  mutable free_head : int;
+  mutable count : int;  (** number of bound (valued) nodes *)
+}
+
+val nil : int
+(** The null node handle, -1. *)
+
+val root : int
+(** The permanent /0 sentinel root's handle, 0. It never holds a value
+    and is never freed. *)
+
+val create : ?capacity:int -> Netaddr.Pfx.afi -> t
+val afi : t -> Netaddr.Pfx.afi
+
+val cardinal : t -> int
+(** Number of bound prefixes. *)
+
+val is_empty : t -> bool
+
+val capacity : t -> int
+(** Current column length (slots, not bound prefixes). *)
+
+val probe : t -> Netaddr.Pfx.t -> int
+(** Find-or-create the node for this exact prefix and return its
+    handle; the value is untouched (a fresh node starts unbound).
+    @raise Invalid_argument on a family mismatch. *)
+
+val probe_chunks : t -> c0:int -> c1:int -> c2:int -> c3:int -> len:int -> int
+(** {!probe} on an already-decomposed key ({!Pfx_key}). *)
+
+val find : t -> Netaddr.Pfx.t -> int
+(** Handle of the node storing exactly this prefix (bound or fork), or
+    {!nil}. *)
+
+val find_chunks : t -> c0:int -> c1:int -> c2:int -> c3:int -> len:int -> int
+
+val value : t -> int -> int
+val aux : t -> int -> int
+val set_aux : t -> int -> int -> unit
+
+val set_value : t -> int -> int -> unit
+(** Bind a payload (>= 0) to a node handle.
+    @raise Invalid_argument on a negative payload. *)
+
+val override_value : t -> int -> int -> unit
+(** Like {!set_value} but also accepts -1, unbinding the node {e
+    without} contraction — for scratch tries whose structure is
+    discarded wholesale (the compress merge phase absorbs child values
+    into ancestors it will still walk). *)
+
+val reset : t -> unit
+(** Rewind to the empty state, keeping the allocated columns for
+    reuse. Every previously-issued handle is invalidated. Cost is
+    proportional to the previous population; no allocation — the
+    scratch-trie recycling primitive for workers that process many
+    small groups. *)
+
+val remove : t -> Netaddr.Pfx.t -> bool
+(** Unbind the prefix's value, contract any resulting pass-through
+    node and put its slot on the freelist. Returns whether a value was
+    removed. *)
+
+val remove_chunks : t -> c0:int -> c1:int -> c2:int -> c3:int -> len:int -> bool
+
+val covering_max_chunks : t -> c0:int -> c1:int -> c2:int -> c3:int -> len:int -> int
+(** Largest value bound on the covering path of the key (including an
+    exact node), or -1 when no covering node is bound — the
+    domination primitive of covered-tuple elimination. *)
+
+val subtree_root : t -> Netaddr.Pfx.t -> int
+(** Topmost node whose subtree holds exactly the stored prefixes the
+    query covers, or {!nil} (cf. {!Ptrie.subtree_root}). *)
+
+val subtree_root_chunks : t -> c0:int -> c1:int -> c2:int -> c3:int -> len:int -> int
+
+val prefix_at : t -> int -> Netaddr.Pfx.t
+(** Rebuild the boxed prefix of a live node — view-layer only;
+    allocates. *)
+
+val fold_bound : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** In-order (address, then length) fold over bound node handles — the
+    same visit order as [Ptrie.fold]. *)
+
+val self_check : t -> (unit, string) result
+(** Audit every structural invariant: reachable nodes are live and
+    visited once, interior valueless nodes are forks, children extend
+    their parent, the freelist is disjoint from the tree, marked free,
+    and together they account for every allocated slot, and [count]
+    matches the valued-node census. *)

@@ -1,0 +1,54 @@
+(** Arena-backed VRP database: the storage engine behind
+    {!Rpki.Validation}.
+
+    One flat {!Itrie} per family; each bound prefix's trie [value] is
+    the head of a chain of entries packed as
+    [(max_len lsl 32) lor asn] in parallel [int array] columns. Chains
+    stay sorted ascending by pack — (max_len, asn) lexicographic — so
+    every whole-database or covering walk emits canonical
+    [Vrp.compare] order without sorting. ASNs cross this interface as
+    plain ints ([Asnum.to_int]); the view layer re-wraps them.
+
+    [validate] and [covering_count] are single allocation-free
+    descents over the columns, enforced by lint rule R7 via their
+    [@@hot] marks. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val cardinal : t -> int
+(** Number of entries (distinct VRPs). *)
+
+val add_unchecked : t -> Netaddr.Pfx.t -> max_len:int -> asn:int -> unit
+(** Build-path insert: prepends without scanning for duplicates. The
+    caller must feed {e distinct} tuples in {e descending} canonical
+    order (so chains end up ascending) — [Validation.create]
+    sort-dedups once and replays the list reversed. *)
+
+val add : t -> Netaddr.Pfx.t -> max_len:int -> asn:int -> bool
+(** Sorted-position insert; [false] when the tuple was already
+    present. *)
+
+val remove : t -> Netaddr.Pfx.t -> max_len:int -> asn:int -> bool
+(** Unlink an entry (freeing its slot, and the prefix's trie node when
+    the chain empties); [false] when absent. *)
+
+val validate : t -> Netaddr.Pfx.t -> asn:int -> int
+(** RFC 6811 in one allocation-free descent:
+    0 = Valid, 1 = Invalid (covered but not matched), 2 = NotFound. *)
+
+val covering_count : t -> Netaddr.Pfx.t -> int
+(** Number of VRPs whose prefix covers the query — the count-only
+    companion of [covering_list], also allocation-free. *)
+
+val covering_list :
+  t -> Netaddr.Pfx.t -> make:(Netaddr.Pfx.t -> max_len:int -> asn:int -> 'v) -> 'v list
+(** The covering VRPs in canonical order. Allocates exactly the result
+    list (one cons + one [make] per element, one boxed prefix per
+    distinct covering prefix), built on the recursion's unwind. *)
+
+val fold_all :
+  t -> init:'a -> f:('a -> Netaddr.Pfx.t -> max_len:int -> asn:int -> 'a) -> 'a
+(** Fold over every entry in canonical (v4-then-v6, address, length,
+    max_len, asn) order. *)

@@ -1,0 +1,164 @@
+module Pfx = Netaddr.Pfx
+module K = Pfx_key
+
+(* Structure-of-arrays VRP store: the compression pipeline's input.
+   Tuples are pushed once (decomposed into chunk columns), then
+   [sort_dedup] orders them by (asn, family, prefix, max_len) and
+   drops exact duplicates in one pass — replacing the per-insert
+   duplicate scans of the record path. After that, each (asn, family)
+   group is a contiguous index range: domain workers receive disjoint
+   [lo, hi) handle ranges over shared read-only columns, touch only
+   contiguous memory, and return packed ints, not records. *)
+
+type t = {
+  mutable s_asn : int array;
+  mutable s_fam : int array;  (* Pfx.afi_to_int: 0 = v4, 1 = v6 *)
+  mutable s_c0 : int array;
+  mutable s_c1 : int array;
+  mutable s_c2 : int array;
+  mutable s_c3 : int array;
+  mutable s_len : int array;
+  mutable s_max : int array;
+  mutable n : int;
+}
+
+let create ~capacity =
+  let cap = if capacity < 8 then 8 else capacity in
+  {
+    s_asn = Array.make cap 0;
+    s_fam = Array.make cap 0;
+    s_c0 = Array.make cap 0;
+    s_c1 = Array.make cap 0;
+    s_c2 = Array.make cap 0;
+    s_c3 = Array.make cap 0;
+    s_len = Array.make cap 0;
+    s_max = Array.make cap 0;
+    n = 0;
+  }
+
+let length t = t.n
+
+let grow t =
+  let cap = Array.length t.s_asn in
+  let ncap = cap * 2 in
+  let extend a =
+    let b = Array.make ncap 0 in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  t.s_asn <- extend t.s_asn;
+  t.s_fam <- extend t.s_fam;
+  t.s_c0 <- extend t.s_c0;
+  t.s_c1 <- extend t.s_c1;
+  t.s_c2 <- extend t.s_c2;
+  t.s_c3 <- extend t.s_c3;
+  t.s_len <- extend t.s_len;
+  t.s_max <- extend t.s_max
+
+let push t p ~max_len ~asn =
+  if t.n >= Array.length t.s_asn then grow t;
+  let i = t.n in
+  t.s_asn.(i) <- asn;
+  t.s_fam.(i) <- Pfx.afi_to_int (Pfx.afi p);
+  t.s_c0.(i) <- K.c0 p;
+  t.s_c1.(i) <- K.c1 p;
+  t.s_c2.(i) <- K.c2 p;
+  t.s_c3.(i) <- K.c3 p;
+  t.s_len.(i) <- Pfx.length p;
+  t.s_max.(i) <- max_len;
+  t.n <- i + 1
+
+let asn t i = t.s_asn.(i)
+let max_len t i = t.s_max.(i)
+let len t i = t.s_len.(i)
+let fam t i = if t.s_fam.(i) = 0 then Pfx.Afi_v4 else Pfx.Afi_v6
+
+let prefix t i =
+  K.to_pfx (fam t i) ~c0:t.s_c0.(i) ~c1:t.s_c1.(i) ~c2:t.s_c2.(i) ~c3:t.s_c3.(i)
+    ~len:t.s_len.(i)
+
+(* (asn, family, prefix, max_len) order — the group order of the
+   record path's [grouped_array], then canonical prefix order inside
+   each group. *)
+let compare_idx t i j =
+  let c = Int.compare t.s_asn.(i) t.s_asn.(j) in
+  if c <> 0 then c
+  else begin
+    let c = Int.compare t.s_fam.(i) t.s_fam.(j) in
+    if c <> 0 then c
+    else begin
+      let c =
+        K.compare_key t.s_c0.(i) t.s_c1.(i) t.s_c2.(i) t.s_c3.(i) t.s_len.(i)
+          t.s_c0.(j) t.s_c1.(j) t.s_c2.(j) t.s_c3.(j) t.s_len.(j)
+      in
+      if c <> 0 then c else Int.compare t.s_max.(i) t.s_max.(j)
+    end
+  end
+
+let sort_dedup t =
+  let n = t.n in
+  if n > 0 then begin
+    let idx = Array.init n (fun i -> i) in
+    Array.sort (compare_idx t) idx;
+    let permute a =
+      let b = Array.make (Array.length a) 0 in
+      (b, a)
+    in
+    let asn_b, asn_a = permute t.s_asn in
+    let fam_b, fam_a = permute t.s_fam in
+    let c0_b, c0_a = permute t.s_c0 in
+    let c1_b, c1_a = permute t.s_c1 in
+    let c2_b, c2_a = permute t.s_c2 in
+    let c3_b, c3_a = permute t.s_c3 in
+    let len_b, len_a = permute t.s_len in
+    let max_b, max_a = permute t.s_max in
+    let out = ref 0 in
+    Array.iteri
+      (fun k i ->
+        let dup = k > 0 && compare_idx t idx.(k - 1) i = 0 in
+        if not dup then begin
+          let o = !out in
+          asn_b.(o) <- asn_a.(i);
+          fam_b.(o) <- fam_a.(i);
+          c0_b.(o) <- c0_a.(i);
+          c1_b.(o) <- c1_a.(i);
+          c2_b.(o) <- c2_a.(i);
+          c3_b.(o) <- c3_a.(i);
+          len_b.(o) <- len_a.(i);
+          max_b.(o) <- max_a.(i);
+          incr out
+        end)
+      idx;
+    t.s_asn <- asn_b;
+    t.s_fam <- fam_b;
+    t.s_c0 <- c0_b;
+    t.s_c1 <- c1_b;
+    t.s_c2 <- c2_b;
+    t.s_c3 <- c3_b;
+    t.s_len <- len_b;
+    t.s_max <- max_b;
+    t.n <- !out
+  end
+
+(* Contiguous [lo, hi) ranges, one per (asn, family) group; requires a
+   [sort_dedup]ed store. *)
+let group_ranges t =
+  let n = t.n in
+  if n = 0 then [||]
+  else begin
+    let groups = ref 1 in
+    for i = 1 to n - 1 do
+      if t.s_asn.(i) <> t.s_asn.(i - 1) || t.s_fam.(i) <> t.s_fam.(i - 1) then incr groups
+    done;
+    let ranges = Array.make !groups (0, 0) in
+    let g = ref 0 and lo = ref 0 in
+    for i = 1 to n - 1 do
+      if t.s_asn.(i) <> t.s_asn.(i - 1) || t.s_fam.(i) <> t.s_fam.(i - 1) then begin
+        ranges.(!g) <- (!lo, i);
+        incr g;
+        lo := i
+      end
+    done;
+    ranges.(!g) <- (!lo, n);
+    ranges
+  end

@@ -1,0 +1,41 @@
+(** Structure-of-arrays VRP store: contiguous columns for the
+    compression pipeline.
+
+    Push tuples once, {!sort_dedup}, then hand each (asn, family)
+    group to a domain worker as a contiguous [lo, hi) index range:
+    workers read disjoint slices of shared immutable columns and
+    return packed ints. The representation is exposed read-only so the
+    per-group elimination/merge loops can touch the chunk columns
+    directly ({!Pfx_key} convention: [s_c0] most significant). *)
+
+type t = private {
+  mutable s_asn : int array;
+  mutable s_fam : int array;  (** [Pfx.afi_to_int]: 0 = v4, 1 = v6 *)
+  mutable s_c0 : int array;
+  mutable s_c1 : int array;
+  mutable s_c2 : int array;
+  mutable s_c3 : int array;
+  mutable s_len : int array;
+  mutable s_max : int array;
+  mutable n : int;
+}
+
+val create : capacity:int -> t
+val length : t -> int
+val push : t -> Netaddr.Pfx.t -> max_len:int -> asn:int -> unit
+
+val sort_dedup : t -> unit
+(** Order by (asn, family, prefix, max_len) and drop exact duplicate
+    tuples — one sort instead of per-insert duplicate scans. *)
+
+val asn : t -> int -> int
+val max_len : t -> int -> int
+val len : t -> int -> int
+val fam : t -> int -> Netaddr.Pfx.afi
+
+val prefix : t -> int -> Netaddr.Pfx.t
+(** Rebuild the boxed prefix of tuple [i] — view layer; allocates. *)
+
+val group_ranges : t -> (int * int) array
+(** Contiguous [lo, hi) per (asn, family) group, in group-key order —
+    the unit of parallelism. Requires a {!sort_dedup}ed store. *)

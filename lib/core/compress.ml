@@ -2,10 +2,28 @@ module Pfx = Netaddr.Pfx
 module Asnum = Rpki.Asnum
 module Vrp = Rpki.Vrp
 module Pool = Parallel.Pool
+module Itrie = Arena.Itrie
+module Vrp_store = Arena.Vrp_store
+module K = Arena.Pfx_key
 
 type mode = Strict | Paper
 
-(* --- grouping by (origin AS, family) --- *)
+(* The pipeline runs on the flat arena: input tuples are decomposed
+   into a {!Arena.Vrp_store} (structure-of-arrays columns), one
+   sort-dedup orders them so each (origin AS, family) group is a
+   contiguous [lo, hi) index range, and domain workers process
+   disjoint ranges over the shared read-only columns. A worker's
+   per-group trie is a scratch {!Arena.Itrie} whose [value] is the
+   tuple's maxLength and whose [aux] remembers the store index, so the
+   merged output travels back as packed ints — boxed [Vrp.t] records
+   are rebuilt only at the final canonical sort.
+
+   The original record path (per-group boxed lists and a record-node
+   trie) is kept below as [run_reference]/[eliminate_covered_reference]
+   — the differential-test oracle the arena output must match
+   bit-for-bit, and the "record" side of the bench comparison. *)
+
+(* --- grouping by (origin AS, family): record path ------------------- *)
 
 module Group_key = struct
   type t = Asnum.t * Pfx.afi
@@ -51,16 +69,28 @@ let grouped_array ?size_hint vrps =
   Array.sort (fun (k1, _) (k2, _) -> Group_key.compare k1 k2) arr;
   arr
 
-(* Run [f] over the group array on [domains] domains. Results come
-   back indexed by group, so the merge below is order-deterministic no
-   matter how chunks were scheduled. Inside an enclosing parallel
-   region (e.g. a Scenario row evaluated on a pool) we degrade to the
-   sequential path rather than nest. *)
-let map_groups ~domains f arr =
-  if domains <= 1 || Array.length arr <= 1 || Pool.in_parallel_region () then Array.map f arr
-  else Pool.run ~domains (fun pool -> Pool.parallel_map pool ~f arr)
+(* Run the arena workers chunk-wise on [domains] domains: [n] items
+   are cut into at most [4 * domains] contiguous runs and [f] maps
+   each [(lo, hi)] run to an array of per-item results. Results
+   concatenate back in item order, so the output is identical for
+   every domain count — only the amount of scratch-trie reuse inside a
+   run varies. Inside an enclosing parallel region (e.g. a Scenario
+   row evaluated on a pool) we degrade to the sequential path rather
+   than nest. *)
+let map_chunks ~domains f n =
+  if n = 0 then [||]
+  else begin
+    let seq = domains <= 1 || n <= 1 || Pool.in_parallel_region () in
+    let chunks = if seq then 1 else min n (4 * domains) in
+    let bounds = Array.init chunks (fun c -> (c * n / chunks, (c + 1) * n / chunks)) in
+    let per_chunk =
+      if seq then Array.map f bounds
+      else Pool.run ~domains (fun pool -> Pool.parallel_map pool ~f bounds)
+    in
+    Array.concat (Array.to_list per_chunk)
+  end
 
-(* --- covered-tuple elimination (one group) --- *)
+(* --- covered-tuple elimination (one group): record path ------------- *)
 
 (* Returns the kept tuples plus how many were dropped as covered. *)
 let eliminate_group ((asn, afi), group) =
@@ -94,27 +124,13 @@ let eliminate_group ((asn, afi), group) =
     sorted;
   (!out, !n_in - !n_kept)
 
-let eliminate_covered ?domains vrps =
-  let domains = match domains with Some d -> d | None -> Pool.default_domains () in
-  let arr = grouped_array vrps in
-  let results = map_groups ~domains (fun g -> fst (eliminate_group g)) arr in
-  Array.fold_left (fun acc l -> List.rev_append l acc) [] results
-  |> List.sort_uniq Vrp.compare
-
-(* --- the compression trie (Algorithm 1) --- *)
+(* --- the compression trie (Algorithm 1): record path ---------------- *)
 
 (* Path-compressed like [Ptrie]: each node stores its full prefix, and
    children branch on the first bit past it. Only stored tuples and
-   genuine branch points materialise as nodes, so building and walking
-   the per-group trie no longer pays for the 32/128 single-child chain
-   nodes of the former bit-per-node layout.
-
-   [value] is the tuple's maxLength, or -1 when no tuple lives here
-   (branch nodes, and nodes absorbed by a merge). The output is
-   bit-identical to the bit-per-node trie's: merges only ever fire at
-   stored nodes, those all exist here with the same post-order, and
-   both the Strict immediate-children test and Paper's direct_child
-   search are reproduced exactly (see the notes at each). *)
+   genuine branch points materialise as nodes. [value] is the tuple's
+   maxLength, or -1 when no tuple lives here (branch nodes, and nodes
+   absorbed by a merge). *)
 
 type node = {
   prefix : Pfx.t;
@@ -162,11 +178,10 @@ let insert root p max_len =
 
 (* Nearest stored descendant on one side (Paper mode's "direct
    child"): minimal prefix length; leftmost (smallest address) on a
-   tie. The bit-per-node version answered this with a left-to-right
-   BFS; here an in-order scan pruned at [best]'s length gives the same
-   node: in-order visits equal-length prefixes in address order, and a
-   subtree whose root is already at least as long as the incumbent
-   cannot hold a strictly shorter stored prefix. *)
+   tie. An in-order scan pruned at [best]'s length finds it: in-order
+   visits equal-length prefixes in address order, and a subtree whose
+   root is already at least as long as the incumbent cannot hold a
+   strictly shorter stored prefix. *)
 let direct_child = function
   | None -> None
   | Some c ->
@@ -251,9 +266,10 @@ type stats = {
   output : int;
 }
 
-(* One group end-to-end: eliminate within the group (the relation is
-   per-origin, per-family, so this is exactly what the global pass
-   would have done to it), then build the trie and merge. *)
+(* One group end-to-end on the record path: eliminate within the group
+   (the relation is per-origin, per-family, so this is exactly what
+   the global pass would have done to it), then build the trie and
+   merge. *)
 type group_result = {
   vrps : Vrp.t list;
   eliminated : int;
@@ -274,15 +290,11 @@ let compress_group ~mode ~eliminate (((asn, afi), group) as keyed) =
     g_merges = counters.merges;
     g_absorbed = counters.absorbed }
 
-let run_with_stats ?(mode = Strict) ?(eliminate = true) ?domains vrps =
-  let domains = match domains with Some d -> d | None -> Pool.default_domains () in
+let run_with_stats_reference ?(mode = Strict) ?(eliminate = true) vrps =
   let distinct = List.sort_uniq Vrp.compare vrps in
   let input = List.length distinct in
   let arr = grouped_array ~size_hint:input distinct in
-  let results = map_groups ~domains (compress_group ~mode ~eliminate) arr in
-  (* Deterministic merge: per-group results are indexed by the sorted
-     key order, and the canonical VRP sort makes the final list
-     independent of both sharding and scheduling. *)
+  let results = Array.map (compress_group ~mode ~eliminate) arr in
   let result =
     Array.fold_left (fun acc r -> List.rev_append r.vrps acc) [] results
     |> List.sort_uniq Vrp.compare
@@ -297,7 +309,285 @@ let run_with_stats ?(mode = Strict) ?(eliminate = true) ?domains vrps =
       children_absorbed = absorbed;
       output = List.length result } )
 
+let run_reference ?mode ?eliminate vrps = fst (run_with_stats_reference ?mode ?eliminate vrps)
+
+let eliminate_covered_reference vrps =
+  let arr = grouped_array vrps in
+  let results = Array.map (fun g -> fst (eliminate_group g)) arr in
+  Array.fold_left (fun acc l -> List.rev_append l acc) [] results
+  |> List.sort_uniq Vrp.compare
+
+(* --- the arena path -------------------------------------------------- *)
+
+(* Store indices of [lo, hi) ordered shortest-prefix-first, larger
+   maxLength first among equals (index as the deterministic tail), so
+   a dominating tuple is always inserted before anything it covers —
+   the elimination order of the record path. *)
+let elimination_order (st : Vrp_store.t) lo hi =
+  let order = Array.init (hi - lo) (fun k -> lo + k) in
+  Array.sort
+    (fun i j ->
+      let c = Int.compare st.Vrp_store.s_len.(i) st.Vrp_store.s_len.(j) in
+      if c <> 0 then c
+      else begin
+        let c = Int.compare st.Vrp_store.s_max.(j) st.Vrp_store.s_max.(i) in
+        if c <> 0 then c else Int.compare i j
+      end)
+    order;
+  order
+
+(* Insert the group's (surviving) tuples into a scratch trie: [value]
+   is the maxLength (duplicate prefixes keep the larger, as the record
+   trie's insert does), [aux] the store index that put it there. When
+   [eliminate] is set, a tuple whose maxLength is dominated along its
+   covering path is dropped instead; returns how many were. *)
+let fill_trie st tr ~eliminate order =
+  let dropped = ref 0 in
+  Array.iter
+    (fun i ->
+      let c0 = st.Vrp_store.s_c0.(i)
+      and c1 = st.Vrp_store.s_c1.(i)
+      and c2 = st.Vrp_store.s_c2.(i)
+      and c3 = st.Vrp_store.s_c3.(i)
+      and len = st.Vrp_store.s_len.(i)
+      and ml = st.Vrp_store.s_max.(i) in
+      if eliminate && Itrie.covering_max_chunks tr ~c0 ~c1 ~c2 ~c3 ~len >= ml then
+        incr dropped
+      else begin
+        let n = Itrie.probe_chunks tr ~c0 ~c1 ~c2 ~c3 ~len in
+        if ml > Itrie.value tr n then begin
+          Itrie.set_value tr n ml;
+          Itrie.set_aux tr n i
+        end
+      end)
+    order;
+  !dropped
+
+(* Paper mode's "direct child" over the arena trie: same in-order scan
+   pruned at the incumbent's length as the record [direct_child]. *)
+let rec dc_scan (tr : Itrie.t) n best =
+  if best >= 0 && tr.Itrie.len.(best) <= tr.Itrie.len.(n) then best
+  else if tr.Itrie.value.(n) >= 0 then n
+  else begin
+    let best =
+      let l = tr.Itrie.left.(n) in
+      if l >= 0 then dc_scan tr l best else best
+    in
+    let r = tr.Itrie.right.(n) in
+    if r >= 0 then dc_scan tr r best else best
+  end
+  [@@hot]
+
+let direct_child_idx tr c = if c < 0 then Itrie.nil else dc_scan tr c Itrie.nil [@@hot]
+
+let merge_children (counters : merge_counters) (tr : Itrie.t) n l r =
+  let parent_value = tr.Itrie.value.(n) in
+  let lv = tr.Itrie.value.(l) and rv = tr.Itrie.value.(r) in
+  let min_child = if lv < rv then lv else rv in
+  if min_child > parent_value then begin
+    counters.merges <- counters.merges + 1;
+    Itrie.set_value tr n min_child;
+    if lv <= min_child then begin
+      Itrie.override_value tr l (-1);
+      counters.absorbed <- counters.absorbed + 1
+    end;
+    if rv <= min_child then begin
+      Itrie.override_value tr r (-1);
+      counters.absorbed <- counters.absorbed + 1
+    end
+  end
+  [@@hot]
+
+let merge_at_idx counters mode (tr : Itrie.t) n =
+  if tr.Itrie.value.(n) >= 0 then begin
+    match mode with
+    | Strict ->
+      let nl = tr.Itrie.len.(n) in
+      let l = tr.Itrie.left.(n) and r = tr.Itrie.right.(n) in
+      if
+        l >= 0 && r >= 0
+        && tr.Itrie.value.(l) >= 0
+        && tr.Itrie.len.(l) = nl + 1
+        && tr.Itrie.value.(r) >= 0
+        && tr.Itrie.len.(r) = nl + 1
+      then merge_children counters tr n l r
+    | Paper ->
+      let l = direct_child_idx tr tr.Itrie.left.(n) in
+      if l >= 0 then begin
+        let r = direct_child_idx tr tr.Itrie.right.(n) in
+        if r >= 0 then merge_children counters tr n l r
+      end
+  end
+  [@@hot]
+
+let rec dfs_idx counters mode (tr : Itrie.t) n =
+  let l = tr.Itrie.left.(n) in
+  if l >= 0 then dfs_idx counters mode tr l;
+  let r = tr.Itrie.right.(n) in
+  if r >= 0 then dfs_idx counters mode tr r;
+  merge_at_idx counters mode tr n
+  [@@hot]
+
+(* A worker's per-range result: each surviving tuple packed as
+   [(store index lsl 8) lor maxLength]. Merges only ever raise the
+   value of an already-stored node, so [aux] is always the index of a
+   tuple with that very prefix — the caller rebuilds prefix and ASN
+   from the store, ints end to end. *)
+type range_result = {
+  out : int array;
+  r_eliminated : int;
+  r_merges : int;
+  r_absorbed : int;
+}
+
+(* A lone tuple is its whole (origin, family) relation: nothing can
+   cover it and nothing can merge with it, so it passes through
+   unchanged with zero trie work. Real tables are dominated by such
+   groups, which is why the chunk workers below special-case them
+   before even touching a scratch trie. *)
+let singleton_out (st : Vrp_store.t) lo = [| (lo lsl 8) lor st.Vrp_store.s_max.(lo) |]
+
+let compress_range_into tr st mode eliminate (lo, hi) =
+  let dropped = fill_trie st tr ~eliminate (elimination_order st lo hi) in
+  let counters = { merges = 0; absorbed = 0 } in
+  dfs_idx counters mode tr Itrie.root;
+  let out = Array.make (Itrie.cardinal tr) 0 in
+  let filled =
+    Itrie.fold_bound tr ~init:0 ~f:(fun k m ->
+        out.(k) <- (Itrie.aux tr m lsl 8) lor Itrie.value tr m;
+        k + 1)
+  in
+  assert (filled = Array.length out);
+  { out; r_eliminated = dropped; r_merges = counters.merges; r_absorbed = counters.absorbed }
+
+(* A worker owns one contiguous run of group ranges and a pair of
+   scratch tries recycled across them with {!Itrie.reset} — the
+   columns stay allocated (and warm) from group to group instead of
+   being rebuilt thousands of times. *)
+let compress_chunk st mode eliminate (ranges : (int * int) array) (r_lo, r_hi) =
+  let v4 = Itrie.create ~capacity:256 Pfx.Afi_v4 in
+  let v6 = Itrie.create ~capacity:256 Pfx.Afi_v6 in
+  Array.init (r_hi - r_lo) (fun k ->
+      let (lo, hi) as range = ranges.(r_lo + k) in
+      if hi - lo = 1 then
+        { out = singleton_out st lo; r_eliminated = 0; r_merges = 0; r_absorbed = 0 }
+      else begin
+        let tr = match Vrp_store.fam st lo with Pfx.Afi_v4 -> v4 | Pfx.Afi_v6 -> v6 in
+        Itrie.reset tr;
+        compress_range_into tr st mode eliminate range
+      end)
+
+(* Sizing the columns to the input up front matters: the push loop
+   never doubles, so the store allocates its nine columns exactly once
+   instead of strewing doubling-copies across the major heap. *)
+let store_of_vrps vrps =
+  let st = Vrp_store.create ~capacity:(List.length vrps) in
+  List.iter
+    (fun (v : Vrp.t) ->
+      Vrp_store.push st v.Vrp.prefix ~max_len:v.Vrp.max_len ~asn:(Asnum.to_int v.Vrp.asn))
+    vrps;
+  Vrp_store.sort_dedup st;
+  st
+
+let materialize st acc packed =
+  let idx = packed lsr 8 and max_len = packed land 0xff in
+  Vrp.make_exn (Vrp_store.prefix st idx) ~max_len (Asnum.of_int (Vrp_store.asn st idx))
+  :: acc
+
+(* [Vrp.compare] on packed outputs, read off the store columns:
+   family (v4 < v6, as [Pfx.compare]), then address-then-length
+   ([K.compare_key] is [Pfx.compare] within a family), then maxLength,
+   then ASN — so the final merge sorts ints, never boxed records. *)
+let packed_compare (st : Vrp_store.t) p q =
+  let i = p lsr 8 and j = q lsr 8 in
+  let c = Int.compare st.Vrp_store.s_fam.(i) st.Vrp_store.s_fam.(j) in
+  if c <> 0 then c
+  else begin
+    let c =
+      K.compare_key st.Vrp_store.s_c0.(i) st.Vrp_store.s_c1.(i) st.Vrp_store.s_c2.(i)
+        st.Vrp_store.s_c3.(i) st.Vrp_store.s_len.(i) st.Vrp_store.s_c0.(j)
+        st.Vrp_store.s_c1.(j) st.Vrp_store.s_c2.(j) st.Vrp_store.s_c3.(j)
+        st.Vrp_store.s_len.(j)
+    in
+    if c <> 0 then c
+    else begin
+      let c = Int.compare (p land 0xff) (q land 0xff) in
+      if c <> 0 then c else Int.compare st.Vrp_store.s_asn.(i) st.Vrp_store.s_asn.(j)
+    end
+  end
+
+(* Concatenate the per-group packed outputs, sort them in canonical
+   order and box each tuple exactly once, consing from the top so the
+   list comes out ascending. Groups are disjoint in (asn, family) and
+   a group emits each prefix at most once, so no duplicates can exist
+   and the sort needs no dedup pass. *)
+let merge_packed st (outs : int array array) =
+  let total = Array.fold_left (fun acc out -> acc + Array.length out) 0 outs in
+  let all = Array.make (max total 1) 0 in
+  let _ =
+    Array.fold_left
+      (fun k out ->
+        Array.blit out 0 all k (Array.length out);
+        k + Array.length out)
+      0 outs
+  in
+  Array.sort (packed_compare st) all;
+  let result = ref [] in
+  for k = total - 1 downto 0 do
+    result := materialize st !result all.(k)
+  done;
+  (!result, total)
+
+let run_with_stats ?(mode = Strict) ?(eliminate = true) ?domains vrps =
+  let domains = match domains with Some d -> d | None -> Pool.default_domains () in
+  let st = store_of_vrps vrps in
+  let input = Vrp_store.length st in
+  let ranges = Vrp_store.group_ranges st in
+  let worker = compress_chunk st mode eliminate ranges in
+  let results = map_chunks ~domains worker (Array.length ranges) in
+  (* Deterministic merge: the packed-int sort in canonical VRP order
+     makes the final list independent of both sharding and
+     scheduling. *)
+  let result, output = merge_packed st (Array.map (fun r -> r.out) results) in
+  let covered_eliminated = Array.fold_left (fun acc r -> acc + r.r_eliminated) 0 results in
+  let merges = Array.fold_left (fun acc r -> acc + r.r_merges) 0 results in
+  let absorbed = Array.fold_left (fun acc r -> acc + r.r_absorbed) 0 results in
+  (result, { input; covered_eliminated; merges; children_absorbed = absorbed; output })
+
 let run ?mode ?eliminate ?domains vrps = fst (run_with_stats ?mode ?eliminate ?domains vrps)
+
+let eliminate_range_into tr st (lo, hi) =
+  let order = elimination_order st lo hi in
+  ignore (fill_trie st tr ~eliminate:true order);
+  (* Survivors keep their own (index, maxLength): per group a prefix
+     survives at most once, so the node's aux is exactly that tuple. *)
+  let out = Array.make (Itrie.cardinal tr) 0 in
+  let filled =
+    Itrie.fold_bound tr ~init:0 ~f:(fun k m ->
+        out.(k) <- (Itrie.aux tr m lsl 8) lor Itrie.value tr m;
+        k + 1)
+  in
+  assert (filled = Array.length out);
+  out
+
+let eliminate_chunk st (ranges : (int * int) array) (r_lo, r_hi) =
+  let v4 = Itrie.create ~capacity:256 Pfx.Afi_v4 in
+  let v6 = Itrie.create ~capacity:256 Pfx.Afi_v6 in
+  Array.init (r_hi - r_lo) (fun k ->
+      let (lo, hi) as range = ranges.(r_lo + k) in
+      if hi - lo = 1 then singleton_out st lo
+      else begin
+        let tr = match Vrp_store.fam st lo with Pfx.Afi_v4 -> v4 | Pfx.Afi_v6 -> v6 in
+        Itrie.reset tr;
+        eliminate_range_into tr st range
+      end)
+
+let eliminate_covered ?domains vrps =
+  let domains = match domains with Some d -> d | None -> Pool.default_domains () in
+  let st = store_of_vrps vrps in
+  let ranges = Vrp_store.group_ranges st in
+  let results = map_chunks ~domains (eliminate_chunk st ranges) (Array.length ranges) in
+  fst (merge_packed st results)
 
 let pp_stats ppf s =
   Format.fprintf ppf

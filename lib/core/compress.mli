@@ -65,6 +65,21 @@ val run_with_stats :
     covered-redundancy removal vs sibling merges (the two effects
     behind Figure 3a's "status quo (compressed)" line). *)
 
+(** {2 Record-path reference}
+
+    The pre-arena implementation (per-group boxed [Vrp.t] lists and a
+    record-node trie), kept as the differential-test oracle and the
+    "record" side of the bench comparison. Always sequential; output
+    and statistics are bit-identical to the arena path at any domain
+    count. *)
+
+val run_reference : ?mode:mode -> ?eliminate:bool -> Rpki.Vrp.t list -> Rpki.Vrp.t list
+
+val run_with_stats_reference :
+  ?mode:mode -> ?eliminate:bool -> Rpki.Vrp.t list -> Rpki.Vrp.t list * stats
+
+val eliminate_covered_reference : Rpki.Vrp.t list -> Rpki.Vrp.t list
+
 val pp_stats : Format.formatter -> stats -> unit
 
 val compression_ratio : before:int -> after:int -> float

@@ -1,79 +1,46 @@
 module Pfx = Netaddr.Pfx
 module Asnum = Rpki.Asnum
+module Db = Arena.Bgp_db
 
-type t = {
-  v4 : Asnum.Set.t ref Ptrie.t;
-  v6 : Asnum.Set.t ref Ptrie.t;
-  mutable count : int;
-  ases : unit Asnum.Tbl.t;
-}
+(* Thin view over the flat arena ({!Arena.Bgp_db}): announced pairs
+   live as unboxed trie columns plus packed origin chains; [Asnum.t]
+   is unwrapped to a plain int at this boundary. Origin chains iterate
+   ascending — the record path's [Asnum.Set] order — so every list and
+   fold below is bit-identical to {!Bgp_table_ref}. *)
 
-let create () =
-  { v4 = Ptrie.create Pfx.Afi_v4; v6 = Ptrie.create Pfx.Afi_v6; count = 0; ases = Asnum.Tbl.create 1024 }
+type t = Db.t
 
-let trie_for t p = match Pfx.afi p with Pfx.Afi_v4 -> t.v4 | Pfx.Afi_v6 -> t.v6
+let create () = Db.create ~capacity:1024 ()
+let add t p a = Db.add t p ~asn:(Asnum.to_int a)
+let remove t p a = Db.remove t p ~asn:(Asnum.to_int a)
+let mem t p a = Db.mem t p ~asn:(Asnum.to_int a) [@@hot]
+let cardinal = Db.cardinal
 
-let add t p a =
-  Asnum.Tbl.replace t.ases a ();
-  Ptrie.update (trie_for t p) p (function
-    | None ->
-      t.count <- t.count + 1;
-      Some (ref (Asnum.Set.singleton a))
-    | Some s ->
-      if not (Asnum.Set.mem a !s) then begin
-        t.count <- t.count + 1;
-        s := Asnum.Set.add a !s
-      end;
-      Some s)
-
-let mem t p a =
-  match Ptrie.find (trie_for t p) p with
-  | None -> false
-  | Some s -> Asnum.Set.mem a !s
-
-let cardinal t = t.count
-
-let iter t f =
-  let g p s = Asnum.Set.iter (fun a -> f p a) !s in
-  Ptrie.iter t.v4 g;
-  Ptrie.iter t.v6 g
-
-let fold t ~init ~f =
-  let g acc p s = Asnum.Set.fold (fun a acc -> f acc p a) !s acc in
-  let acc = Ptrie.fold t.v4 ~init ~f:g in
-  Ptrie.fold t.v6 ~init:acc ~f:g
-
+let iter t f = ignore (Db.fold_all t ~init:() ~f:(fun () p asn -> f p (Asnum.of_int asn)))
+let fold t ~init ~f = Db.fold_all t ~init ~f:(fun acc p asn -> f acc p (Asnum.of_int asn))
 let pairs t = List.rev (fold t ~init:[] ~f:(fun acc p a -> (p, a) :: acc))
 
 let origins t p =
-  match Ptrie.find (trie_for t p) p with
-  | None -> []
-  | Some s -> Asnum.Set.elements !s
+  List.rev (Db.fold_origins t p ~init:[] ~f:(fun acc asn -> Asnum.of_int asn :: acc))
+
+let origin_count = Db.origin_count
 
 let announced_under t p a =
-  List.rev
-    (Ptrie.fold_covered_by (trie_for t p) p ~init:[] ~f:(fun acc q s ->
-         if Asnum.Set.mem a !s then (q, Pfx.length q) :: acc else acc))
+  Db.under_list t p ~asn:(Asnum.to_int a) ~make:(fun q len -> (q, len))
 
-(* Counts accumulate straight into the result array during the subtree
-   walk — no intermediate (prefix, length) list. *)
 let count_by_length_under t p a ~max_len =
   let base = Pfx.length p in
   if max_len < base then invalid_arg "Bgp_table.count_by_length_under: max_len below prefix";
   let counts = Array.make (max_len - base + 1) 0 in
-  Ptrie.iter_covered_by (trie_for t p) p (fun q s ->
-      let len = Pfx.length q in
-      if len <= max_len && Asnum.Set.mem a !s then
-        counts.(len - base) <- counts.(len - base) + 1);
+  Db.count_into t p ~asn:(Asnum.to_int a) ~base ~max_len counts;
   counts
 
 let has_same_origin_ancestor t p a =
-  let len = Pfx.length p in
-  Ptrie.exists_covering (trie_for t p) p (fun q s ->
-      Pfx.length q < len && Asnum.Set.mem a !s)
+  Db.has_same_origin_ancestor t p ~asn:(Asnum.to_int a)
+  [@@hot]
 
 let root_pair_count t =
   fold t ~init:0 ~f:(fun acc p a -> if has_same_origin_ancestor t p a then acc else acc + 1)
 
-let distinct_prefix_count t = Ptrie.cardinal t.v4 + Ptrie.cardinal t.v6
-let as_count t = Asnum.Tbl.length t.ases
+let distinct_prefix_count = Db.distinct_prefix_count
+let as_count = Db.as_count

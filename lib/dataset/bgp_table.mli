@@ -14,6 +14,10 @@ val create : unit -> t
 val add : t -> Netaddr.Pfx.t -> Rpki.Asnum.t -> unit
 (** Idempotent: the table is a set of pairs. *)
 
+val remove : t -> Netaddr.Pfx.t -> Rpki.Asnum.t -> bool
+(** Withdraw a pair; [false] when absent. The AS census ({!as_count})
+    counts ASes ever seen and is not decremented. *)
+
 val mem : t -> Netaddr.Pfx.t -> Rpki.Asnum.t -> bool
 val cardinal : t -> int
 
@@ -24,6 +28,10 @@ val pairs : t -> (Netaddr.Pfx.t * Rpki.Asnum.t) list
 val origins : t -> Netaddr.Pfx.t -> Rpki.Asnum.t list
 (** Who originates exactly this prefix (usually one AS; several for a
     MOAS conflict). *)
+
+val origin_count : t -> Netaddr.Pfx.t -> int
+(** [List.length (origins t p)] without building the list — a counter
+    maintained in the arena trie node. *)
 
 val announced_under : t -> Netaddr.Pfx.t -> Rpki.Asnum.t -> (Netaddr.Pfx.t * int) list
 (** Announced pairs of the given origin covered by [p] (including [p]

@@ -51,7 +51,7 @@ let under_prefix prefix path =
   let pl = String.length prefix in
   String.length path >= pl && String.equal (String.sub path 0 pl) prefix
 
-let core_libs = [ "lib/core/"; "lib/rpki/"; "lib/netaddr/"; "lib/ptrie/" ]
+let core_libs = [ "lib/core/"; "lib/rpki/"; "lib/netaddr/"; "lib/ptrie/"; "lib/arena/" ]
 let in_core_libs path = List.exists (fun p -> under_prefix p path) core_libs
 let is_ml path = Filename.check_suffix path ".ml"
 
@@ -223,7 +223,7 @@ let r2_check ctx st =
           finding ctx ~rule ~severity loc
             (Printf.sprintf
                "%s.* is banned in the core libraries (lib/core, lib/rpki, lib/netaddr, \
-                lib/ptrie)"
+                lib/ptrie, lib/arena)"
                root)
         | [ "List"; ("hd" | "nth" | "tl") ] | [ "Option"; "get" ] ->
           finding ctx ~rule ~severity loc
@@ -418,6 +418,84 @@ let r6_check ctx st =
   let it = { default with expr; value_binding } in
   it.structure it st
 
+(* --- R7: no allocation sites in [@hot] functions -------------------- *)
+
+(* The flat-arena data plane promises zero per-query allocation; hot
+   functions advertise that with [@@hot], and this rule keeps the
+   promise syntactically: inside a hot binding's body, any expression
+   that the compiler must box — tuple, record, closure, [ref] cell,
+   list cons or other payload-carrying constructor, array or lazy —
+   is flagged. The check sees only syntax: calls that allocate
+   internally (Array.make, sprintf, ...) pass unseen, and constant
+   constructors / immediate ints are correctly free. Sites that are
+   deliberate (e.g. building the result list of a view function) take
+   [@lint.alloc_ok] on the expression or the binding. *)
+
+let r7_check ctx st =
+  let rule = "R7" and severity = Finding.Error in
+  let report loc what =
+    finding ctx ~rule ~severity loc
+      (Printf.sprintf
+         "[@hot] function allocates (%s): keep the hot path allocation-free — hoist or \
+          restructure, or annotate [@lint.alloc_ok]"
+         what)
+  in
+  let default = Ast_iterator.default_iterator in
+  (* Walks a hot body; every syntactic allocation site is a finding. *)
+  let rec body_it =
+    let expr (it : Ast_iterator.iterator) (e : expression) =
+      if has_attr "lint.alloc_ok" e.pexp_attributes then ()
+      else
+        match e.pexp_desc with
+        | Pexp_construct ({ txt = Lident "::"; _ }, Some payload) ->
+          report e.pexp_loc "list cons";
+          (* the cons cell's (head, tail) pair is part of this site, not
+             a second allocation: recurse into the elements directly *)
+          (match payload.pexp_desc with
+          | Pexp_tuple els -> List.iter (it.expr it) els
+          | _ -> it.expr it payload)
+        | _ ->
+          (match e.pexp_desc with
+          | Pexp_tuple _ -> report e.pexp_loc "tuple construction"
+          | Pexp_record _ -> report e.pexp_loc "record construction"
+          | Pexp_array _ -> report e.pexp_loc "array literal"
+          | Pexp_fun _ | Pexp_function _ -> report e.pexp_loc "closure construction"
+          | Pexp_lazy _ -> report e.pexp_loc "lazy thunk"
+          | Pexp_construct ({ txt; _ }, Some _) ->
+            report e.pexp_loc
+              (Printf.sprintf "%s constructor with payload"
+                 (String.concat "." (flatten_ident txt)))
+          | Pexp_variant (_, Some _) -> report e.pexp_loc "variant with payload"
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident "ref"; loc }; _ }, _ :: _)
+            ->
+            report loc "ref cell"
+          | _ -> ());
+          default.expr it e
+    in
+    let value_binding (it : Ast_iterator.iterator) (vb : value_binding) =
+      if not (has_attr "lint.alloc_ok" vb.pvb_attributes) then default.value_binding it vb
+    in
+    { default with expr; value_binding }
+  (* The leading parameter chain is the function's interface, not an
+     allocation inside it. *)
+  and check_hot_body (e : expression) =
+    match e.pexp_desc with
+    | Pexp_fun (_, default_arg, _, body) ->
+      Option.iter (body_it.expr body_it) default_arg;
+      check_hot_body body
+    | Pexp_newtype (_, body) -> check_hot_body body
+    | Pexp_constraint (body, _) -> check_hot_body body
+    | _ -> body_it.expr body_it e
+  in
+  let value_binding (it : Ast_iterator.iterator) (vb : value_binding) =
+    if has_attr "hot" vb.pvb_attributes then begin
+      if not (has_attr "lint.alloc_ok" vb.pvb_attributes) then check_hot_body vb.pvb_expr
+    end
+    else default.value_binding it vb
+  in
+  let it = { default with value_binding } in
+  it.structure it st
+
 (* --- registry ------------------------------------------------------- *)
 
 let all : t list =
@@ -433,8 +511,8 @@ let all : t list =
       name = "unsafe-stdlib";
       severity = Finding.Error;
       doc =
-        "lib/core, lib/rpki, lib/netaddr and lib/ptrie must not use Obj.*, Marshal.*, \
-         Str.*, or the partial List.hd/List.tl/List.nth/Option.get. Escape: \
+        "lib/core, lib/rpki, lib/netaddr, lib/ptrie and lib/arena must not use Obj.*, \
+         Marshal.*, Str.*, or the partial List.hd/List.tl/List.nth/Option.get. Escape: \
          [@lint.unsafe_ok].";
       kind =
         File_rule (fun ctx st -> if in_core_libs ctx.path then r2_check ctx st) };
@@ -467,6 +545,16 @@ let all : t list =
          test code: per-session re-encoding defeats the encode-once fan-out. Escape: \
          [@lint.encode_ok].";
       kind = File_rule (fun ctx st -> if not (r6_exempt ctx.path) then r6_check ctx st) };
+    { id = "R7";
+      name = "alloc-in-hot";
+      severity = Finding.Error;
+      doc =
+        "Functions marked [@@hot] must contain no syntactic allocation site (tuple, \
+         record, closure, ref cell, list cons or other payload-carrying constructor, \
+         array literal, lazy): the arena data plane is zero-allocation per query. \
+         Allocating calls (Array.make, sprintf, ...) are beyond a syntactic check. \
+         Escape: [@lint.alloc_ok].";
+      kind = File_rule r7_check };
   ]
 
 let find ids =

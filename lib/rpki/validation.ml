@@ -1,4 +1,4 @@
-module Pfx = Netaddr.Pfx
+module Db = Arena.Vrp_db
 
 type state = Valid | Invalid | Not_found
 
@@ -9,65 +9,50 @@ let state_to_string = function
 
 let pp_state ppf s = Format.pp_print_string ppf (state_to_string s)
 
-(* Per family, a trie mapping each VRP prefix to the (max_len, asn)
-   pairs recorded for it. *)
-type db = { v4 : (int * Asnum.t) list Ptrie.t; v6 : (int * Asnum.t) list Ptrie.t; mutable count : int }
+(* Thin view over the flat arena ({!Arena.Vrp_db}): prefixes live as
+   unboxed chunk columns, (max_len, asn) pairs as packed ints. Boxed
+   [Vrp.t] records exist only at this layer's edges — [create]
+   decomposes them, [vrps]/[covering_vrps] re-materialize them. *)
 
-let trie_for db p = match Pfx.afi p with Pfx.Afi_v4 -> db.v4 | Pfx.Afi_v6 -> db.v6
+type db = Db.t
 
-let create vrps =
-  let db = { v4 = Ptrie.create Pfx.Afi_v4; v6 = Ptrie.create Pfx.Afi_v6; count = 0 } in
-  let add (v : Vrp.t) =
-    Ptrie.update (trie_for db v.Vrp.prefix) v.Vrp.prefix (function
-      | None ->
-        db.count <- db.count + 1;
-        Some [ (v.Vrp.max_len, v.Vrp.asn) ]
-      | Some l ->
-        if
-          List.exists
-            (fun (m, a) -> Int.equal m v.Vrp.max_len && Asnum.equal a v.Vrp.asn)
-            l
-        then Some l
-        else begin
-          db.count <- db.count + 1;
-          Some ((v.Vrp.max_len, v.Vrp.asn) :: l)
-        end)
-  in
-  List.iter add vrps;
+let create vrp_list =
+  (* One sort-dedup instead of a linear duplicate scan per insert;
+     replaying the distinct list in descending order lets the arena
+     prepend unconditionally while ending up with ascending
+     (canonical-order) chains. *)
+  let distinct = List.sort_uniq Vrp.compare vrp_list in
+  let db = Db.create ~capacity:(List.length distinct + 1) () in
+  List.iter
+    (fun (v : Vrp.t) ->
+      Db.add_unchecked db v.Vrp.prefix ~max_len:v.Vrp.max_len
+        ~asn:(Asnum.to_int v.Vrp.asn))
+    (List.rev distinct);
   db
 
-let cardinal db = db.count
+let cardinal = Db.cardinal
+
+let add db (v : Vrp.t) =
+  Db.add db v.Vrp.prefix ~max_len:v.Vrp.max_len ~asn:(Asnum.to_int v.Vrp.asn)
+
+let remove db (v : Vrp.t) =
+  Db.remove db v.Vrp.prefix ~max_len:v.Vrp.max_len ~asn:(Asnum.to_int v.Vrp.asn)
+
+let validate db p origin =
+  match Db.validate db p ~asn:(Asnum.to_int origin) with
+  | 0 -> Valid
+  | 1 -> Invalid
+  | _ -> Not_found
+  [@@hot]
+
+let authorized db p origin = Db.validate db p ~asn:(Asnum.to_int origin) = 0 [@@hot]
+let covering_count = Db.covering_count
 
 let covering_vrps db p =
-  let acc = ref [] in
-  Ptrie.iter_covering (trie_for db p) p (fun q l ->
-      acc :=
-        List.fold_right
-          (fun (max_len, asn) acc -> { Vrp.prefix = q; max_len; asn } :: acc)
-          l !acc);
-  List.rev !acc
-
-(* One allocation-free descent: the covering walk short-circuits on the
-   first authorizing VRP, and the [found] flag distinguishes Invalid
-   (some cover, none authorizes) from Not_found (no cover at all). *)
-let validate db p origin =
-  let len = Pfx.length p in
-  let found = ref false in
-  let valid =
-    Ptrie.exists_covering (trie_for db p) p (fun _ l ->
-        found := true;
-        List.exists
-          (fun (max_len, asn) ->
-            (not (Asnum.is_zero asn)) && Asnum.equal asn origin && len <= max_len)
-          l)
-  in
-  if valid then Valid else if !found then Invalid else Not_found
-
-let authorized db p origin = validate db p origin = Valid
+  Db.covering_list db p ~make:(fun prefix ~max_len ~asn ->
+      { Vrp.prefix; max_len; asn = Asnum.of_int asn })
 
 let vrps db =
-  let collect trie acc =
-    Ptrie.fold trie ~init:acc ~f:(fun acc q l ->
-        List.fold_left (fun acc (max_len, asn) -> { Vrp.prefix = q; max_len; asn } :: acc) acc l)
-  in
-  List.sort_uniq Vrp.compare (collect db.v6 (collect db.v4 []))
+  List.rev
+    (Db.fold_all db ~init:[] ~f:(fun acc prefix ~max_len ~asn ->
+         { Vrp.prefix; max_len; asn = Asnum.of_int asn } :: acc))

@@ -20,17 +20,29 @@ val pp_state : Format.formatter -> state -> unit
 type db
 
 val create : Vrp.t list -> db
-(** Index a VRP list (duplicates are fine). *)
+(** Index a VRP list (duplicates are fine): one sort-dedup, then a
+    linear arena build. *)
 
 val cardinal : db -> int
 (** Number of distinct VRPs in the database. *)
 
+val add : db -> Vrp.t -> bool
+(** Insert one VRP; [false] when already present. *)
+
+val remove : db -> Vrp.t -> bool
+(** Withdraw one VRP; [false] when absent. *)
+
 val validate : db -> Netaddr.Pfx.t -> Asnum.t -> state
-(** Classify announcement [(prefix, origin)]. *)
+(** Classify announcement [(prefix, origin)] — one allocation-free
+    descent of the arena trie. *)
 
 val covering_vrps : db -> Netaddr.Pfx.t -> Vrp.t list
 (** All VRPs whose prefix covers the given one — the candidates RFC 6811
-    consults. *)
+    consults — in canonical [Vrp.compare] order, allocating only the
+    result list. *)
+
+val covering_count : db -> Netaddr.Pfx.t -> int
+(** [List.length (covering_vrps db p)] without building the list. *)
 
 val vrps : db -> Vrp.t list
 (** The distinct VRPs, in canonical order. *)

@@ -1,0 +1,21 @@
+(* R7 fixture: [@@hot] functions that allocate — one of each
+   construction the rule must catch. *)
+
+let pair_up a b = (a, b) [@@hot]
+
+let box_stat hits misses = { hits; misses } [@@hot]
+
+let make_counter () = ref 0 [@@hot]
+
+let cons_result x acc = x :: acc [@@hot]
+
+let wrap_found x = Some x [@@hot]
+
+let sum_squares f xs = Array.iter (fun x -> f (x * x)) xs [@@hot]
+
+let literal_pair x = [| x; x + 1 |] [@@hot]
+
+let delay x = lazy (x + 1) [@@hot]
+
+(* No [@@hot]: allocation here is nobody's business. *)
+let cold_helper a b = (a, b)

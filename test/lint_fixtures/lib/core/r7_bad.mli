@@ -1,0 +1,2 @@
+(* Interface stub so the R4 rule stays quiet for this fixture. *)
+val pair_up : 'a -> 'b -> 'a * 'b

@@ -1,0 +1,20 @@
+(* R7 fixture: allocation-free hot paths plus the sanctioned waivers —
+   none may be flagged. *)
+
+let rec sum_to a n acc = if n < 0 then acc else sum_to a (n - 1) (acc + a.(n)) [@@hot]
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x [@@hot]
+
+(* Constant constructors and variants are immediate — no boxing. *)
+let classify code = if code = 0 then `Valid else `Invalid [@@hot]
+
+let mark counts i = counts.(i) <- counts.(i) + 1 [@@hot]
+
+(* Expression-level waiver: a deliberate allocation inside a hot body. *)
+let blessed_pair a b = (a, b) [@lint.alloc_ok] [@@hot]
+
+(* Binding-level waiver covers the whole body. *)
+let collect x acc = x :: acc [@@hot] [@@lint.alloc_ok]
+
+(* No [@@hot]: free to allocate. *)
+let cold_builder a b = (a, b)

@@ -1,0 +1,340 @@
+(* Differential suite for the flat-arena data plane: every arena
+   structure must agree bit-for-bit with its record-backed oracle
+   under randomized workloads — Itrie vs Ptrie, Validation vs
+   Validation_oracle, Bgp_table vs Bgp_table_ref, the compress
+   pipeline vs its record-path reference — plus the handle-reuse
+   safety property (freed trie slots may be recycled, but never so
+   that a surviving handle changes meaning). *)
+
+module Pfx = Netaddr.Pfx
+module Itrie = Arena.Itrie
+module Vrp = Rpki.Vrp
+
+let p = Testutil.p4
+let a = Testutil.a
+
+(* --- Itrie vs Ptrie: unit coverage ------------------------------------ *)
+
+let make_itrie l =
+  let t = Itrie.create Pfx.Afi_v4 in
+  List.iter
+    (fun (s, v) ->
+      let n = Itrie.probe t (p s) in
+      Itrie.set_value t n v)
+    l;
+  t
+
+let itrie_to_list t =
+  List.rev
+    (Itrie.fold_bound t ~init:[] ~f:(fun acc n ->
+         (Itrie.prefix_at t n, Itrie.value t n) :: acc))
+
+let test_itrie_basics () =
+  let t = make_itrie [ ("10.0.0.0/8", 1); ("10.0.0.0/16", 2); ("10.1.0.0/16", 3) ] in
+  Alcotest.(check int) "cardinal" 3 (Itrie.cardinal t);
+  let find s =
+    let n = Itrie.find t (p s) in
+    if n < 0 then None else if Itrie.value t n < 0 then None else Some (Itrie.value t n)
+  in
+  Alcotest.(check (option int)) "find /8" (Some 1) (find "10.0.0.0/8");
+  Alcotest.(check (option int)) "find /16" (Some 2) (find "10.0.0.0/16");
+  Alcotest.(check (option int)) "absent" None (find "10.2.0.0/16");
+  Alcotest.(check bool) "remove" true (Itrie.remove t (p "10.0.0.0/16"));
+  Alcotest.(check bool) "remove again" false (Itrie.remove t (p "10.0.0.0/16"));
+  Alcotest.(check int) "cardinal after remove" 2 (Itrie.cardinal t);
+  Alcotest.(check (option int)) "descendant survives" (Some 3) (find "10.1.0.0/16");
+  (match Itrie.self_check t with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "self_check: %s" e)
+
+let test_itrie_order_matches_ptrie () =
+  let entries =
+    [ ("10.0.0.0/16", 2); ("10.0.0.0/8", 1); ("9.0.0.0/8", 0); ("10.128.0.0/9", 3) ]
+  in
+  let t = make_itrie entries in
+  let m = Ptrie.create Pfx.Afi_v4 in
+  List.iter (fun (s, v) -> Ptrie.add m (p s) v) entries;
+  Alcotest.(check (list (pair Testutil.prefix int)))
+    "fold_bound order is Ptrie order" (Ptrie.to_list m) (itrie_to_list t)
+
+(* --- Itrie vs Ptrie: randomized model --------------------------------- *)
+
+let prop_itrie_model family prefix_gen name =
+  let open QCheck2 in
+  let gen_ops = Gen.list_size (Gen.int_range 1 200) (Gen.pair Gen.bool prefix_gen) in
+  Test.make ~name ~count:200 gen_ops (fun ops ->
+      let t = Itrie.create family in
+      let m = Ptrie.create family in
+      List.iteri
+        (fun i (add, q) ->
+          if add then begin
+            let n = Itrie.probe t q in
+            Itrie.set_value t n i;
+            Ptrie.add m q i
+          end
+          else begin
+            let expected = Option.is_some (Ptrie.find m q) in
+            Ptrie.remove m q;
+            if Itrie.remove t q <> expected then
+              Test.fail_reportf "remove %s disagreed with the model" (Pfx.to_string q)
+          end)
+        ops;
+      (match Itrie.self_check t with
+       | Ok () -> ()
+       | Error e -> Test.fail_reportf "self_check: %s" e);
+      Itrie.cardinal t = Ptrie.cardinal m
+      && List.equal
+           (fun (p1, v1) (p2, v2) -> Pfx.equal p1 p2 && Int.equal v1 v2)
+           (Ptrie.to_list m) (itrie_to_list t))
+
+(* Freed slots may be recycled by later insertions, but a handle that
+   was never removed must keep resolving to its original prefix and
+   value — reuse must not alias live nodes. *)
+let prop_handle_reuse =
+  let open QCheck2 in
+  let gen =
+    Gen.triple
+      (Gen.list_size (Gen.int_range 1 80) Testutil.gen_clustered_v4_prefix)
+      (Gen.list_size (Gen.int_range 1 80) Testutil.gen_clustered_v4_prefix)
+      (Gen.list_size (Gen.int_range 1 80) Testutil.gen_clustered_v4_prefix)
+  in
+  Test.make ~name:"handle reuse never aliases live nodes" ~count:200 gen
+    (fun (adds, removes, readds) ->
+      let t = Itrie.create Pfx.Afi_v4 in
+      let distinct = List.sort_uniq Pfx.compare adds in
+      let handles =
+        List.mapi
+          (fun i q ->
+            let n = Itrie.probe t q in
+            Itrie.set_value t n i;
+            (q, n, i))
+          distinct
+      in
+      List.iter (fun q -> ignore (Itrie.remove t q)) removes;
+      let removed q = List.exists (Pfx.equal q) removes in
+      let survivors = List.filter (fun (q, _, _) -> not (removed q)) handles in
+      let check_survivors () =
+        List.for_all
+          (fun (q, n, v) -> Pfx.equal (Itrie.prefix_at t n) q && Itrie.value t n = v)
+          survivors
+      in
+      let ok_after_remove = check_survivors () in
+      (match Itrie.self_check t with
+       | Ok () -> ()
+       | Error e -> Test.fail_reportf "self_check after removes: %s" e);
+      (* Re-adding recycles freed slots; survivors must be untouched. *)
+      List.iteri
+        (fun i q ->
+          let n = Itrie.probe t q in
+          Itrie.set_value t n (1000 + i))
+        readds;
+      (match Itrie.self_check t with
+       | Ok () -> ()
+       | Error e -> Test.fail_reportf "self_check after re-adds: %s" e);
+      ok_after_remove
+      && List.for_all
+           (fun (q, n, v) ->
+             List.exists (Pfx.equal q) readds
+             || (Pfx.equal (Itrie.prefix_at t n) q && Itrie.value t n = v))
+           survivors)
+
+(* --- Validation vs Validation_oracle ---------------------------------- *)
+
+let gen_probe = QCheck2.Gen.pair Testutil.gen_clustered_prefix Testutil.gen_small_asn
+
+let check_validation_agrees vrps probes =
+  let adb = Rpki.Validation.create vrps in
+  let odb = Rpki.Validation_oracle.create vrps in
+  if Rpki.Validation.cardinal adb <> Rpki.Validation_oracle.cardinal odb then
+    QCheck2.Test.fail_reportf "cardinal %d vs oracle %d" (Rpki.Validation.cardinal adb)
+      (Rpki.Validation_oracle.cardinal odb);
+  if
+    not
+      (List.equal Vrp.equal (Rpki.Validation.vrps adb) (Rpki.Validation_oracle.vrps odb))
+  then QCheck2.Test.fail_report "vrps listing diverged";
+  List.for_all
+    (fun (q, origin) ->
+      Rpki.Validation.validate adb q origin = Rpki.Validation_oracle.validate odb q origin
+      && Rpki.Validation.authorized adb q origin
+         = Rpki.Validation_oracle.authorized odb q origin
+      && List.equal Vrp.equal
+           (Rpki.Validation.covering_vrps adb q)
+           (Rpki.Validation_oracle.covering_vrps odb q)
+      && Rpki.Validation.covering_count adb q = Rpki.Validation_oracle.covering_count odb q)
+    probes
+
+let prop_validation_oracle =
+  let open QCheck2 in
+  let gen = Gen.pair Testutil.gen_vrp_list (Gen.list_size (Gen.int_range 1 40) gen_probe) in
+  Test.make ~name:"Validation agrees with the record oracle" ~count:200 gen
+    (fun (vrps, probes) -> check_validation_agrees vrps probes)
+
+(* Dynamic adds and removes against a rebuilt-oracle model: the arena
+   db is updated in place, the oracle is recreated from the maintained
+   VRP list after every batch. *)
+let prop_validation_dynamic =
+  let open QCheck2 in
+  let gen =
+    Gen.triple Testutil.gen_vrp_list
+      (Gen.list_size (Gen.int_range 1 60) (Gen.pair Gen.bool Testutil.gen_vrp))
+      (Gen.list_size (Gen.int_range 1 30) gen_probe)
+  in
+  Test.make ~name:"Validation add/remove tracks the oracle" ~count:200 gen
+    (fun (initial, ops, probes) ->
+      let adb = Rpki.Validation.create initial in
+      let model = ref (List.sort_uniq Vrp.compare initial) in
+      List.iter
+        (fun (add, v) ->
+          let present = List.exists (Vrp.equal v) !model in
+          if add then begin
+            if Rpki.Validation.add adb v <> not present then
+              Test.fail_reportf "add %s disagreed with the model" (Vrp.to_string v);
+            if not present then model := List.sort_uniq Vrp.compare (v :: !model)
+          end
+          else begin
+            if Rpki.Validation.remove adb v <> present then
+              Test.fail_reportf "remove %s disagreed with the model" (Vrp.to_string v);
+            model := List.filter (fun w -> not (Vrp.equal v w)) !model
+          end)
+        ops;
+      let odb = Rpki.Validation_oracle.create !model in
+      Rpki.Validation.cardinal adb = Rpki.Validation_oracle.cardinal odb
+      && List.equal Vrp.equal (Rpki.Validation.vrps adb) (Rpki.Validation_oracle.vrps odb)
+      && List.for_all
+           (fun (q, origin) ->
+             Rpki.Validation.validate adb q origin
+             = Rpki.Validation_oracle.validate odb q origin
+             && List.equal Vrp.equal
+                  (Rpki.Validation.covering_vrps adb q)
+                  (Rpki.Validation_oracle.covering_vrps odb q))
+           probes)
+
+(* --- Bgp_table vs Bgp_table_ref --------------------------------------- *)
+
+let gen_pair_list n =
+  QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 n)
+    (QCheck2.Gen.pair Testutil.gen_clustered_prefix Testutil.gen_small_asn)
+
+let prop_bgp_oracle =
+  let open QCheck2 in
+  let gen = Gen.triple (gen_pair_list 120) (gen_pair_list 40) (gen_pair_list 40) in
+  Test.make ~name:"Bgp_table agrees with the record oracle" ~count:150 gen
+    (fun (adds, removes, probes) ->
+      let t = Dataset.Bgp_table.create () in
+      let r = Dataset.Bgp_table_ref.create () in
+      List.iter
+        (fun (q, origin) ->
+          Dataset.Bgp_table.add t q origin;
+          Dataset.Bgp_table_ref.add r q origin)
+        adds;
+      List.iter
+        (fun (q, origin) ->
+          let got = Dataset.Bgp_table.remove t q origin in
+          let expected = Dataset.Bgp_table_ref.remove r q origin in
+          if got <> expected then
+            Test.fail_reportf "remove %s %s disagreed" (Pfx.to_string q)
+              (Rpki.Asnum.to_string origin))
+        removes;
+      let pair_eq (p1, a1) (p2, a2) = Pfx.equal p1 p2 && Rpki.Asnum.equal a1 a2 in
+      Dataset.Bgp_table.cardinal t = Dataset.Bgp_table_ref.cardinal r
+      && List.equal pair_eq (Dataset.Bgp_table.pairs t) (Dataset.Bgp_table_ref.pairs r)
+      && Dataset.Bgp_table.distinct_prefix_count t
+         = Dataset.Bgp_table_ref.distinct_prefix_count r
+      && Dataset.Bgp_table.as_count t = Dataset.Bgp_table_ref.as_count r
+      && Dataset.Bgp_table.root_pair_count t = Dataset.Bgp_table_ref.root_pair_count r
+      && List.for_all
+           (fun (q, origin) ->
+             let max_len = min (Pfx.addr_bits q) (Pfx.length q + 6) in
+             Dataset.Bgp_table.mem t q origin = Dataset.Bgp_table_ref.mem r q origin
+             && Dataset.Bgp_table.origin_count t q = Dataset.Bgp_table_ref.origin_count r q
+             && List.equal Rpki.Asnum.equal
+                  (Dataset.Bgp_table.origins t q)
+                  (Dataset.Bgp_table_ref.origins r q)
+             && Dataset.Bgp_table.has_same_origin_ancestor t q origin
+                = Dataset.Bgp_table_ref.has_same_origin_ancestor r q origin
+             && List.equal
+                  (fun (p1, l1) (p2, l2) -> Pfx.equal p1 p2 && Int.equal l1 l2)
+                  (Dataset.Bgp_table.announced_under t q origin)
+                  (Dataset.Bgp_table_ref.announced_under r q origin)
+             && Array.for_all2 Int.equal
+                  (Dataset.Bgp_table.count_by_length_under t q origin ~max_len)
+                  (Dataset.Bgp_table_ref.count_by_length_under r q origin ~max_len))
+           probes)
+
+(* --- Compress vs the record-path reference ---------------------------- *)
+
+let stats_equal (s1 : Mlcore.Compress.stats) (s2 : Mlcore.Compress.stats) =
+  s1.Mlcore.Compress.input = s2.Mlcore.Compress.input
+  && s1.Mlcore.Compress.covered_eliminated = s2.Mlcore.Compress.covered_eliminated
+  && s1.Mlcore.Compress.merges = s2.Mlcore.Compress.merges
+  && s1.Mlcore.Compress.children_absorbed = s2.Mlcore.Compress.children_absorbed
+  && s1.Mlcore.Compress.output = s2.Mlcore.Compress.output
+
+let prop_compress_oracle =
+  let open QCheck2 in
+  Test.make ~name:"compress agrees with run_reference at 1/2/4 domains" ~count:100
+    Testutil.gen_vrp_list (fun vrps ->
+      List.for_all
+        (fun mode ->
+          List.for_all
+            (fun eliminate ->
+              let ref_out, ref_stats =
+                Mlcore.Compress.run_with_stats_reference ~mode ~eliminate vrps
+              in
+              List.for_all
+                (fun domains ->
+                  let out, stats =
+                    Mlcore.Compress.run_with_stats ~mode ~eliminate ~domains vrps
+                  in
+                  if not (List.equal Vrp.equal out ref_out) then
+                    Test.fail_reportf "output diverged (%d domains)" domains;
+                  if not (stats_equal stats ref_stats) then
+                    Test.fail_reportf "stats diverged (%d domains)" domains;
+                  true)
+                [ 1; 2; 4 ])
+            [ true; false ])
+        [ Mlcore.Compress.Strict; Mlcore.Compress.Paper ])
+
+let prop_eliminate_oracle =
+  let open QCheck2 in
+  Test.make ~name:"eliminate_covered agrees with its reference" ~count:150
+    Testutil.gen_vrp_list (fun vrps ->
+      let reference = Mlcore.Compress.eliminate_covered_reference vrps in
+      List.for_all
+        (fun domains ->
+          List.equal Vrp.equal (Mlcore.Compress.eliminate_covered ~domains vrps) reference)
+        [ 1; 2; 4 ])
+
+let test_figure2_arena_matches_reference () =
+  let input, compressed = Mlcore.Compress.figure2_example () in
+  Alcotest.(check (list Testutil.vrp))
+    "figure 2 via the arena equals the reference" (Mlcore.Compress.run_reference input)
+    compressed
+
+let test_validation_empty_and_single () =
+  Alcotest.(check int) "empty cardinal" 0 (Rpki.Validation.cardinal (Rpki.Validation.create []));
+  let v = Vrp.make_exn (p "10.0.0.0/8") ~max_len:16 (a 64500) in
+  Alcotest.(check bool) "single VRP agrees" true
+    (check_validation_agrees [ v ]
+       [ (p "10.0.0.0/12", a 64500); (p "10.0.0.0/24", a 64500); (p "11.0.0.0/8", a 64500) ])
+
+let () =
+  Alcotest.run "arena"
+    [ ( "itrie",
+        [ Alcotest.test_case "basics" `Quick test_itrie_basics;
+          Alcotest.test_case "order matches Ptrie" `Quick test_itrie_order_matches_ptrie ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_itrie_model Pfx.Afi_v4 Testutil.gen_clustered_v4_prefix
+                "Itrie agrees with Ptrie (v4)";
+              prop_itrie_model Pfx.Afi_v6 Testutil.gen_clustered_v6_prefix
+                "Itrie agrees with Ptrie (v6)";
+              prop_handle_reuse ] );
+      ( "validation",
+        [ Alcotest.test_case "empty and single" `Quick test_validation_empty_and_single ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_validation_oracle; prop_validation_dynamic ] );
+      ("bgp_table", List.map QCheck_alcotest.to_alcotest [ prop_bgp_oracle ]);
+      ( "compress",
+        [ Alcotest.test_case "figure 2" `Quick test_figure2_arena_matches_reference ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_compress_oracle; prop_eliminate_oracle ]
+      ) ]

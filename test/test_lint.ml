@@ -55,7 +55,7 @@ let test_good_fixtures_clean () =
     let base = Filename.basename f.Finding.file in
     List.exists (fun s -> String.equal base s)
       [ "r1_good.ml"; "r2_good.ml"; "r3_good.ml"; "r4_good.ml"; "r5_good.ml";
-        "r6_good.ml"; "r2_scope.ml"; "r5_scope.ml" ]
+        "r6_good.ml"; "r7_good.ml"; "r2_scope.ml"; "r5_scope.ml" ]
   in
   match List.filter is_good_file report.Engine.findings with
   | [] -> ()

@@ -13,8 +13,8 @@ SIM_SMOKE_JSON := BENCH_rtr_smoke.json
 FANOUT_SMOKE_JSON := BENCH_rtr_fanout_smoke.json
 ARENA_SMOKE_JSON := BENCH_arena_smoke.json
 
-.PHONY: build test lint check bench bench-smoke bench-validate-smoke sim-smoke \
-	bench-fanout-smoke bench-arena-smoke clean
+.PHONY: build test lint lint-typed check bench bench-smoke bench-validate-smoke \
+	sim-smoke bench-fanout-smoke bench-arena-smoke clean
 
 build:
 	dune build
@@ -120,8 +120,20 @@ lint:
 	dune exec bin/lint/lint_main.exe -- --format json --out $(LINT_JSON)
 	@echo "lint: OK (report in $(LINT_JSON))"
 
+# Typed lint: the interprocedural rules (R8-R10) read the .cmt
+# artifacts a full build leaves under _build, so build first — without
+# artifacts the run would silently degrade to the syntactic rules.
+lint-typed:
+	@rm -f $(LINT_JSON)
+	dune build
+	dune exec bin/lint/lint_main.exe -- --typed --format json --out $(LINT_JSON)
+	@grep -q '"typed_units": [1-9]' $(LINT_JSON) || \
+		{ echo "lint-typed: typed phase did not run (no .cmt artifacts?)"; exit 1; }
+	@echo "lint-typed: OK (report in $(LINT_JSON))"
+
 # The one-stop gate: build everything, run the test suites, lint the
-# tree, and smoke-check the parallel pipelines, the RTR simulator, the
-# encode-once fan-out and the arena-vs-record data plane.
-check: build test lint bench-smoke sim-smoke bench-fanout-smoke bench-arena-smoke
+# tree (typed phase included), and smoke-check the parallel pipelines,
+# the RTR simulator, the encode-once fan-out and the arena-vs-record
+# data plane.
+check: build test lint-typed bench-smoke sim-smoke bench-fanout-smoke bench-arena-smoke
 	@echo "check: OK"

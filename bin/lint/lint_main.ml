@@ -1,11 +1,15 @@
 (* rpki-maxlen lint — AST-level enforcement of the repo's correctness
-   invariants (DESIGN.md §9).
+   invariants (DESIGN.md §9), plus an interprocedural typed phase over
+   dune's .cmt artifacts.
 
-   Usage: lint [PATHS...] [--rules R1,R3] [--format text|json]
-               [--out FILE] [--baseline FILE] [--root DIR] [--list-rules]
+   Usage: lint [PATHS...] [--rules R1,R3] [--typed] [--cmt-dir DIR]
+               [--format text|json] [--out FILE] [--baseline FILE]
+               [--root DIR] [--list-rules]
 
    Exit status: 0 when no error-severity finding survives baseline
-   filtering, 1 otherwise, 2 on usage errors. *)
+   filtering, 1 otherwise, 2 on usage errors. A missing build dir with
+   --typed degrades to the syntactic rules plus a stderr warning — it
+   is not a failure. *)
 
 module Engine = Lintcore.Engine
 module Rules = Lintcore.Rules
@@ -16,11 +20,16 @@ let usage =
   "lint [PATHS...] [options]\n\
    Static analysis for the rpki-maxlen tree. With no PATHS, lints lib/ bin/ bench/ \
    test/ under --root (default: the current directory).\n\n\
+   The syntactic rules (R1-R7) parse sources directly. The typed rules (R8-R10) \
+   need .cmt artifacts from a prior `dune build` and run with --typed (implied \
+   when --rules selects a typed rule).\n\n\
    Options:"
 
 let () =
   let paths = ref [] in
   let rules_arg = ref "" in
+  let typed = ref false in
+  let cmt_dir = ref "" in
   let format = ref "text" in
   let out = ref "" in
   let baseline = ref "" in
@@ -30,11 +39,18 @@ let () =
     [ ( "--rules",
         Arg.Set_string rules_arg,
         "IDS  comma-separated rule ids to run (default: all, e.g. R1,R3)" );
+      ( "--typed",
+        Arg.Set typed,
+        " enable the typed phase (R8-R10) over _build .cmt artifacts" );
+      ( "--cmt-dir",
+        Arg.Set_string cmt_dir,
+        "DIR  where to look for .cmt files (default: ROOT/_build/default)" );
       ("--format", Arg.Set_string format, "FMT  output format: text (default) or json");
       ("--out", Arg.Set_string out, "FILE  write the report to FILE instead of stdout");
       ( "--baseline",
         Arg.Set_string baseline,
-        "FILE  previous JSON report; findings fingerprinted there are suppressed" );
+        "FILE  previous JSON report (v1 or v2); findings fingerprinted there are \
+         suppressed" );
       ("--root", Arg.Set_string root, "DIR  tree root paths are resolved against");
       ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit") ]
   in
@@ -45,9 +61,12 @@ let () =
   if !list_rules then begin
     List.iter
       (fun (r : Rules.t) ->
-        Printf.printf "%s %-14s [%s]\n    %s\n" r.id r.name
+        let phase =
+          match r.kind with Rules.Typed_rule _ -> "typed" | _ -> "syntactic"
+        in
+        Printf.printf "%s %-22s [%s, %s]\n    %s\n" r.id r.name
           (Lintcore.Finding.severity_to_string r.severity)
-          r.doc)
+          phase r.doc)
       Rules.all;
     exit 0
   end;
@@ -67,8 +86,20 @@ let () =
       Rules.find ids
     end
   in
+  (* asking for a typed rule by id is asking for the typed phase *)
+  let typed =
+    !typed
+    || List.exists
+         (fun (r : Rules.t) ->
+           match r.kind with Rules.Typed_rule _ -> not (String.equal !rules_arg "") | _ -> false)
+         rules
+  in
   let paths = if !paths = [] then default_paths else List.rev !paths in
-  let report = Engine.run ~rules ~root:!root paths in
+  let cmt_dir = if String.equal !cmt_dir "" then None else Some !cmt_dir in
+  let report = Engine.run ~rules ~typed ?cmt_dir ~root:!root paths in
+  (match report.typed_warning with
+  | Some w -> Printf.eprintf "lint: warning: %s; ran the syntactic rules only\n" w
+  | None -> ());
   let report =
     if String.equal !baseline "" then report
     else if not (Sys.file_exists !baseline) then begin

@@ -208,10 +208,11 @@ let set_value t i v =
    values at interior nodes it will walk again, so structural cleanup
    is deferred to the trie's disposal. *)
 let override_value t i v =
-  (match (t.value.(i) >= 0, v >= 0) with
-  | false, true -> t.count <- t.count + 1
-  | true, false -> t.count <- t.count - 1
-  | _ -> ());
+  (* branch on the two bound-states directly: this sits on the hot
+     compress path (R8), where even a matched-away tuple is banned *)
+  let was_bound = t.value.(i) >= 0 and now_bound = v >= 0 in
+  if now_bound && not was_bound then t.count <- t.count + 1
+  else if was_bound && not now_bound then t.count <- t.count - 1;
   t.value.(i) <- v
 
 let prefix_at t i =

@@ -1,0 +1,94 @@
+(** Interprocedural def/use graph over [Typedtree], feeding the typed
+    rules (R8 hot-closure-alloc, R9 domain-shared-mutation, R10
+    exception-escape).
+
+    Nodes are module-level value bindings, identified by their
+    normalized qualified name ("Rtr.Cache_server.handle"); every local
+    definition inside a binding is attributed to it. Edges are
+    identifier {e references} (not just call heads), so a function
+    passed as a value stays reachable — a deliberate
+    over-approximation. Closures submitted to the [lib/parallel] pool
+    or to netsim clock callbacks become synthetic nodes
+    ("Owner.publish.<fun:42>") recorded as submissions. *)
+
+type fact_kind =
+  | Alloc  (** heap allocation in the body (R8) *)
+  | Mutates  (** writes a free/top-level mutable target (R9) *)
+  | Raises  (** may raise outside the allowlist (R10) *)
+
+type fact = {
+  kind : fact_kind;
+  detail : string;  (** e.g. ["list cons"], ["incr on hits"], ["failwith"] *)
+  fact_line : int;
+  fact_col : int;
+}
+
+type call = {
+  callee : string;  (** node id *)
+  call_line : int;
+  guarded : bool;
+      (** reference sits under a catch-all [try]: R10 does not follow
+          the edge, R8/R9 still do *)
+}
+
+type node = {
+  id : string;
+  file : string;  (** source path relative to the lint root *)
+  line : int;  (** binding definition line *)
+  attrs : string list;  (** binding attributes: ["hot"], waivers, ... *)
+  mutable calls : call list;
+  mutable facts : fact list;
+}
+
+type sub_kind = Pool_task | Event_callback
+
+type submission = {
+  sub_kind : sub_kind;
+  sub_root : string;  (** node the submitted task/callback starts at *)
+  sub_file : string;
+  sub_line : int;
+}
+
+type t
+
+val build : Cmt_loader.t -> t
+(** Two passes: declare every binding across every unit (so forward
+    and cross-module references resolve regardless of load order),
+    then analyze bodies for facts, edges and submissions. *)
+
+val find : t -> string -> node option
+
+val nodes : t -> node list
+(** All nodes, sorted by id. *)
+
+val node_count : t -> int
+
+val submissions : t -> sub_kind -> submission list
+(** Deduplicated, in discovery order. *)
+
+val reach : t -> waiver:string -> follow_guarded:bool -> string -> (node * string list) list
+(** BFS from a root node id. Skips nodes carrying the [waiver]
+    attribute (a waiver anywhere on a path kills everything beyond it)
+    and, when [follow_guarded] is false, edges made under a catch-all
+    [try]. Each reachable node comes with its witness chain of node
+    ids, root first — a shortest path, deterministic across runs. The
+    root itself is included (chain [[root]]); an unknown or waived
+    root yields []. *)
+
+(** {2 Programmatic construction} — for unit-testing reachability on a
+    hand-built graph, without compiling fixtures. *)
+
+val create : unit -> t
+
+val add_node :
+  t ->
+  id:string ->
+  file:string ->
+  line:int ->
+  ?attrs:string list ->
+  ?facts:fact list ->
+  ?calls:call list ->
+  unit ->
+  node
+(** Idempotent on [id]: re-adding returns a fresh value but keeps the
+    first registration in the graph. *)

@@ -1,0 +1,114 @@
+(* Discovery and decoding of the compiler's -bin-annot artifacts. The
+   typed phase feeds on [Typedtree] structures, which only exist where
+   a build has run: dune writes one [.cmt] per compiled module under
+   [_build/default/**/.objs/byte/] (libraries) and [.eobjs/byte/]
+   (executables). We walk the build dir, read every implementation
+   cmt, and map each back to its root-relative source path — the key
+   findings and rule scoping use. Absent or stale artifacts are a
+   degradation, never a failure: the caller falls back to the
+   syntactic phase with a warning. *)
+
+type unit_info = {
+  modname : string;
+  unit_id : string;
+  source : string;
+  structure : Typedtree.structure;
+}
+
+type t = {
+  cmt_dir : string;
+  units : unit_info list;
+}
+
+let default_cmt_dir ~root = Filename.concat (Filename.concat root "_build") "default"
+
+(* "Rtr__Cache_server" -> "Rtr.Cache_server"; dune's executable
+   modules ("Dune__exe__Test_rtr") lose their synthetic namespace
+   entirely. Real module names never contain "__" outside dune's
+   wrapping convention, so the split is safe here. *)
+let normalize_modname m =
+  let m =
+    let prefix = "Dune__exe__" in
+    let pl = String.length prefix in
+    if String.length m > pl && String.equal (String.sub m 0 pl) prefix then
+      String.sub m pl (String.length m - pl)
+    else m
+  in
+  let buf = Buffer.create (String.length m) in
+  let n = String.length m in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && m.[!i] = '_' && m.[!i + 1] = '_' then begin
+      Buffer.add_char buf '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf m.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* A cmt records its source as a path relative to dune's workspace
+   root (e.g. "lib/arena/vrp_db.ml"), which need not coincide with the
+   lint root — the fixture corpus lints with root deep inside the
+   tree. Peel leading segments until the file exists under [root]. *)
+let relocate_source ~root sourcefile =
+  let exists rel = Sys.file_exists (Filename.concat root rel) in
+  let rec peel rel =
+    if exists rel then Some rel
+    else
+      match String.index_opt rel '/' with
+      | Some i -> peel (String.sub rel (i + 1) (String.length rel - i - 1))
+      | None -> None
+  in
+  peel sourcefile
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry -> walk acc (Filename.concat path entry))
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let load ~root ~cmt_dir =
+  if not (Sys.file_exists cmt_dir && Sys.is_directory cmt_dir) then
+    Error (Printf.sprintf "no build artifacts at %s (run `dune build` first)" cmt_dir)
+  else begin
+    let files = List.sort String.compare (walk [] cmt_dir) in
+    let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    let units =
+      List.filter_map
+        (fun file ->
+          match Cmt_format.read_cmt file with
+          | exception _ -> None (* stale magic / foreign artifact: skip *)
+          | cmt -> (
+            match cmt.Cmt_format.cmt_annots with
+            | Cmt_format.Implementation structure -> (
+              match cmt.Cmt_format.cmt_sourcefile with
+              | None -> None
+              | Some sourcefile -> (
+                match relocate_source ~root sourcefile with
+                | None -> None (* generated module (lib alias): no source to report *)
+                | Some source ->
+                  let modname = cmt.Cmt_format.cmt_modname in
+                  if Hashtbl.mem seen modname then None
+                  else begin
+                    Hashtbl.add seen modname ();
+                    Some
+                      { modname;
+                        unit_id = normalize_modname modname;
+                        source;
+                        structure }
+                  end))
+            | _ -> None))
+        files
+    in
+    if units = [] then
+      Error (Printf.sprintf "no readable .cmt implementations under %s" cmt_dir)
+    else Ok { cmt_dir; units }
+  end

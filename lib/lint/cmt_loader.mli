@@ -1,0 +1,33 @@
+(** Discovery and decoding of [-bin-annot] artifacts ([.cmt]) for the
+    typed lint phase.
+
+    Dune emits a [.cmt] per compiled module; this module walks a build
+    directory, keeps every implementation unit, and maps each back to
+    its root-relative source file. Loading degrades, never crashes:
+    unreadable or sourceless artifacts are skipped, and an absent
+    build directory is an [Error] the caller turns into a
+    fall-back-to-syntactic warning. *)
+
+type unit_info = {
+  modname : string;  (** raw compilation-unit name, e.g. ["Rtr__Cache_server"] *)
+  unit_id : string;  (** normalized, e.g. ["Rtr.Cache_server"] *)
+  source : string;  (** source path relative to the lint root *)
+  structure : Typedtree.structure;
+}
+
+type t = {
+  cmt_dir : string;
+  units : unit_info list;  (** deduplicated by [modname], sorted walk order *)
+}
+
+val default_cmt_dir : root:string -> string
+(** [root/_build/default] — where dune puts the default context. *)
+
+val normalize_modname : string -> string
+(** ["Rtr__Cache_server"] → ["Rtr.Cache_server"];
+    ["Dune__exe__Test_rtr"] → ["Test_rtr"]. *)
+
+val load : root:string -> cmt_dir:string -> (t, string) result
+(** Read every [.cmt] under [cmt_dir]. [Error] when the directory does
+    not exist or holds no readable implementation — the message is the
+    warning shown when the typed phase degrades to Parsetree-only. *)

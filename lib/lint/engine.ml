@@ -1,9 +1,12 @@
-(* Orchestration: discover files, parse them, run the rule registry,
-   filter against a baseline, render text/JSON. Directory walks skip
-   build products and the deliberately-bad lint fixture corpus (those
-   are linted by tests via an explicit root). *)
+(* Orchestration: discover files, parse them, run the rule registry
+   (and, when enabled, the typed phase over .cmt artifacts), filter
+   against a baseline, render text/JSON. Directory walks skip build
+   products, the deliberately-bad lint fixture corpus (those are
+   linted by tests via an explicit root), and any directory carrying a
+   [.lint-ignore] marker file. *)
 
 let skip_dirs = [ "_build"; ".git"; "lint_fixtures"; "node_modules" ]
+let ignore_marker = ".lint-ignore"
 
 let is_source f = Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
 
@@ -18,14 +21,16 @@ let relativize ~root file =
 
 let rec walk acc path =
   if Sys.is_directory path then
-    Array.fold_left
-      (fun acc entry ->
-        if List.exists (String.equal entry) skip_dirs then acc
-        else walk acc (Filename.concat path entry))
-      acc
-      (let entries = Sys.readdir path in
-       Array.sort String.compare entries;
-       entries)
+    if Sys.file_exists (Filename.concat path ignore_marker) then acc
+    else
+      Array.fold_left
+        (fun acc entry ->
+          if List.exists (String.equal entry) skip_dirs then acc
+          else walk acc (Filename.concat path entry))
+        acc
+        (let entries = Sys.readdir path in
+         Array.sort String.compare entries;
+         entries)
   else if is_source path then path :: acc
   else acc
 
@@ -49,6 +54,8 @@ type report = {
   files_scanned : int;
   rules_run : string list;
   findings : Finding.t list;
+  typed_units : int;
+  typed_warning : string option;
 }
 
 let parse_structure ~file source =
@@ -62,7 +69,7 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run ?(rules = Rules.all) ~root paths =
+let run ?(rules = Rules.all) ?(typed = false) ?cmt_dir ~root paths =
   let rel_files = discover ~root paths in
   let findings = ref [] in
   let add f = findings := f :: !findings in
@@ -80,7 +87,7 @@ let run ?(rules = Rules.all) ~root paths =
             (fun (r : Rules.t) ->
               match r.kind with
               | Rules.File_rule check -> check ctx st
-              | Rules.Tree_rule _ -> ())
+              | Rules.Tree_rule _ | Rules.Typed_rule _ -> ())
             rules
         | exception exn ->
           let line, col, msg =
@@ -101,12 +108,49 @@ let run ?(rules = Rules.all) ~root paths =
     (fun (r : Rules.t) ->
       match r.kind with
       | Rules.Tree_rule check -> check { Rules.tree_files = rel_files; tree_add = add }
-      | Rules.File_rule _ -> ())
+      | Rules.File_rule _ | Rules.Typed_rule _ -> ())
     rules;
+  (* Typed phase: load .cmt artifacts, build the call graph once, and
+     hand it to every typed rule. Unloadable artifacts degrade to a
+     warning — the syntactic findings above stand on their own. *)
+  let typed_rules =
+    List.filter (fun (r : Rules.t) -> match r.kind with Rules.Typed_rule _ -> true | _ -> false) rules
+  in
+  let typed_units, typed_warning =
+    if not (typed && typed_rules <> []) then (0, None)
+    else begin
+      let cmt_dir =
+        match cmt_dir with Some d -> d | None -> Cmt_loader.default_cmt_dir ~root
+      in
+      match Cmt_loader.load ~root ~cmt_dir with
+      | Error msg ->
+        (0, Some (Printf.sprintf "typed phase skipped: %s" msg))
+      | Ok loader ->
+        let graph = Callgraph.build loader in
+        let tctx = { Rules.typed_files = rel_files; graph; typed_add = add } in
+        List.iter
+          (fun (r : Rules.t) ->
+            match r.kind with Rules.Typed_rule check -> check tctx | _ -> ())
+          typed_rules;
+        (List.length loader.units, None)
+    end
+  in
+  (* rules_run reports what actually executed: typed rules drop out
+     when the phase is off or degraded. *)
+  let executed =
+    List.filter
+      (fun (r : Rules.t) ->
+        match r.kind with
+        | Rules.Typed_rule _ -> typed && typed_units > 0
+        | _ -> true)
+      rules
+  in
   { root;
     files_scanned = List.length rel_files;
-    rules_run = List.map (fun (r : Rules.t) -> r.id) rules;
-    findings = List.sort Finding.compare !findings }
+    rules_run = List.map (fun (r : Rules.t) -> r.id) executed;
+    findings = List.sort Finding.compare !findings;
+    typed_units;
+    typed_warning }
 
 (* --- baseline -------------------------------------------------------- *)
 
@@ -167,16 +211,26 @@ let to_text report =
        (if warnings = 1 then "" else "s"));
   Buffer.contents buf
 
-let schema = "rpki-maxlen/lint/v1"
+let schema = "rpki-maxlen/lint/v2"
 
 let to_json report =
   let buf = Buffer.create 4096 in
   let errors, warnings = Finding.count_severity report.findings in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"schema\": \"%s\",\n" schema);
+  (* environment header, matching the BENCH_*.json convention *)
+  Buffer.add_string buf
+    (Printf.sprintf "  \"ocaml_version\": \"%s\",\n" (Finding.json_escape Sys.ocaml_version));
+  Buffer.add_string buf (Printf.sprintf "  \"word_size\": %d,\n" Sys.word_size);
   Buffer.add_string buf
     (Printf.sprintf "  \"root\": \"%s\",\n" (Finding.json_escape report.root));
   Buffer.add_string buf (Printf.sprintf "  \"files_scanned\": %d,\n" report.files_scanned);
+  Buffer.add_string buf (Printf.sprintf "  \"typed_units\": %d,\n" report.typed_units);
+  (match report.typed_warning with
+  | Some w ->
+    Buffer.add_string buf
+      (Printf.sprintf "  \"typed_warning\": \"%s\",\n" (Finding.json_escape w))
+  | None -> ());
   Buffer.add_string buf
     (Printf.sprintf "  \"rules\": [%s],\n"
        (String.concat ", "

@@ -1,29 +1,49 @@
-(** Lint orchestration: discover sources, parse, run the rule registry,
-    baseline-filter, render. *)
+(** Lint orchestration: discover sources, parse, run the rule registry
+    (syntactic phase always; typed phase over [.cmt] artifacts on
+    request), baseline-filter, render. *)
 
 val schema : string
-(** ["rpki-maxlen/lint/v1"] — the JSON report schema tag. *)
+(** ["rpki-maxlen/lint/v2"] — the JSON report schema tag. v2 adds the
+    environment header ([ocaml_version], [word_size]), the typed-phase
+    fields ([typed_units], optional [typed_warning]) and per-finding
+    [witness] chains. *)
 
 val discover : root:string -> string list -> string list
 (** Expand files/directories (relative to [root]) into a sorted list of
     root-relative [.ml]/[.mli] paths. Directory walks skip [_build],
-    [.git] and [lint_fixtures]. *)
+    [.git], [lint_fixtures], and any directory containing a
+    [.lint-ignore] marker file. *)
 
 type report = {
   root : string;
   files_scanned : int;
   rules_run : string list;
+      (** rules that actually executed: typed rules drop out when the
+          typed phase is off or degraded *)
   findings : Finding.t list;  (** sorted by file/line/col/rule *)
+  typed_units : int;  (** compilation units the typed phase analyzed; 0 if it did not run *)
+  typed_warning : string option;
+      (** set when the typed phase was requested but degraded
+          (no/unreadable [.cmt] artifacts) *)
 }
 
-val run : ?rules:Rules.t list -> root:string -> string list -> report
+val run :
+  ?rules:Rules.t list -> ?typed:bool -> ?cmt_dir:string -> root:string -> string list -> report
 (** Lint the given paths. Unparseable [.ml] files yield a single
-    ["parse"]-rule error finding rather than aborting the run. *)
+    ["parse"]-rule error finding rather than aborting the run.
+
+    With [~typed:true], [.cmt] artifacts are loaded from [cmt_dir]
+    (default [root/_build/default]), the call graph is built once, and
+    the typed rules run with their roots scoped to the discovered file
+    set. A missing or empty build directory degrades to
+    [typed_warning] — never a failure. *)
 
 val load_baseline : string -> string list
 (** Fingerprints recorded in a previous JSON report (line-oriented
     scan; no JSON parser needed since the emitter writes one finding
-    per line). *)
+    per line). Accepts both v1 and v2 reports — the per-line finding
+    format is unchanged, v2 only adds header fields and the nested
+    witness array. *)
 
 val apply_baseline : baseline:string list -> report -> report
 (** Drop findings whose fingerprint appears in the baseline. *)

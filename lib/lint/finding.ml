@@ -2,6 +2,12 @@ type severity = Error | Warning
 
 let severity_to_string = function Error -> "error" | Warning -> "warning"
 
+type step = {
+  step_fn : string;
+  step_file : string;
+  step_line : int;
+}
+
 type t = {
   rule : string;
   severity : severity;
@@ -9,10 +15,11 @@ type t = {
   line : int;
   col : int;
   message : string;
+  witness : step list;
 }
 
-let make ~rule ~severity ~file ~line ~col message =
-  { rule; severity; file; line; col; message }
+let make ?(witness = []) ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message; witness }
 
 let fingerprint f = Printf.sprintf "%s|%s|%d|%d" f.rule f.file f.line f.col
 
@@ -26,10 +33,21 @@ let compare a b =
       let c = Int.compare a.col b.col in
       if c <> 0 then c else String.compare a.rule b.rule
 
+let witness_to_text steps =
+  String.concat " -> "
+    (List.map
+       (fun s -> Printf.sprintf "%s (%s:%d)" s.step_fn s.step_file s.step_line)
+       steps)
+
 let to_text f =
-  Printf.sprintf "%s:%d:%d: %s [%s] %s" f.file f.line f.col
-    (severity_to_string f.severity)
-    f.rule f.message
+  let base =
+    Printf.sprintf "%s:%d:%d: %s [%s] %s" f.file f.line f.col
+      (severity_to_string f.severity)
+      f.rule f.message
+  in
+  match f.witness with
+  | [] -> base
+  | steps -> Printf.sprintf "%s; witness: %s" base (witness_to_text steps)
 
 (* Minimal JSON string escaping: the subset our messages can contain
    (quotes, backslashes, control characters). *)
@@ -48,15 +66,30 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-(* One finding per line, so a baseline reader can stay line-oriented. *)
+(* One finding per line, so a baseline reader can stay line-oriented.
+   The witness chain (typed rules) rides along as a nested array on the
+   same line. *)
 let to_json f =
+  let witness =
+    match f.witness with
+    | [] -> ""
+    | steps ->
+      Printf.sprintf ", \"witness\": [%s]"
+        (String.concat ", "
+           (List.map
+              (fun s ->
+                Printf.sprintf "{\"fn\": \"%s\", \"file\": \"%s\", \"line\": %d}"
+                  (json_escape s.step_fn) (json_escape s.step_file) s.step_line)
+              steps))
+  in
   Printf.sprintf
     "{\"rule\": \"%s\", \"severity\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": %d, \
-     \"message\": \"%s\", \"fingerprint\": \"%s\"}"
+     \"message\": \"%s\", \"fingerprint\": \"%s\"%s}"
     (json_escape f.rule)
     (severity_to_string f.severity)
     (json_escape f.file) f.line f.col (json_escape f.message)
     (json_escape (fingerprint f))
+    witness
 
 let count_severity findings =
   List.fold_left

@@ -1,8 +1,10 @@
-(* The repo-specific rule catalogue. Every checker is syntactic: it
-   walks the parsetree with [Ast_iterator] — no typing environment — so
-   each rule documents the approximation it makes and offers an
-   attribute escape hatch for the sites the approximation gets wrong.
-   See DESIGN.md §9 for the rationale per rule. *)
+(* The repo-specific rule catalogue, in two phases. R1–R7 are
+   syntactic: they walk the parsetree with [Ast_iterator] — no typing
+   environment — so each documents the approximation it makes and
+   offers an attribute escape hatch for the sites the approximation
+   gets wrong. R8–R10 are typed and interprocedural: they consume the
+   {!Callgraph} built from [.cmt] artifacts and report findings with a
+   witness call chain. See DESIGN.md §9 for the rationale per rule. *)
 
 open Parsetree
 
@@ -18,9 +20,16 @@ type tree_context = {
   tree_add : Finding.t -> unit;
 }
 
+type typed_context = {
+  typed_files : string list;  (** scanned files — typed roots are scoped to these *)
+  graph : Callgraph.t;
+  typed_add : Finding.t -> unit;
+}
+
 type kind =
   | File_rule of (file_context -> structure -> unit)
   | Tree_rule of (tree_context -> unit)
+  | Typed_rule of (typed_context -> unit)
 
 type t = {
   id : string;
@@ -496,6 +505,138 @@ let r7_check ctx st =
   let it = { default with value_binding } in
   it.structure it st
 
+(* --- the typed phase (R8–R10) --------------------------------------- *)
+
+(* Shared plumbing: scope roots to the scanned file set (the fixture
+   corpus and anything under a .lint-ignore directory produce cmts
+   too, when built, but must not seed findings), walk the reachable
+   set, and dedupe findings by site — the first root to reach a site
+   owns the finding, and roots are visited in sorted id order, so the
+   winner is deterministic. *)
+
+let witness_of_chain graph chain =
+  List.filter_map
+    (fun id ->
+      match Callgraph.find graph id with
+      | Some (n : Callgraph.node) ->
+        Some { Finding.step_fn = n.id; step_file = n.file; step_line = n.line }
+      | None -> None)
+    chain
+
+let typed_findings tctx ~rule ~fact_kind ~waiver ~follow_guarded ~skip_node ~message roots =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (root_id, origin) ->
+      List.iter
+        (fun ((n : Callgraph.node), chain) ->
+          if not (skip_node ~root_id n) then
+            List.iter
+              (fun (f : Callgraph.fact) ->
+                if f.kind = fact_kind then begin
+                  let key = Printf.sprintf "%s|%d|%d" n.file f.fact_line f.fact_col in
+                  if not (Hashtbl.mem seen key) then begin
+                    Hashtbl.replace seen key ();
+                    tctx.typed_add
+                      (Finding.make
+                         ~witness:(witness_of_chain tctx.graph chain)
+                         ~rule ~severity:Finding.Error ~file:n.file ~line:f.fact_line
+                         ~col:f.fact_col
+                         (message ~origin ~detail:f.detail))
+                  end
+                end)
+              n.facts)
+        (Callgraph.reach tctx.graph ~waiver ~follow_guarded root_id))
+    roots
+
+let in_typed_scope tctx file = mem_string file tctx.typed_files
+
+(* R8: the transitive closure of every [@@hot] body is allocation-free.
+   The root's own body is R7's (syntactic) job — and so is any hot
+   callee's, being a root itself — so R8 reports only on reachable
+   non-hot helpers. *)
+let r8_check tctx =
+  let roots =
+    List.filter_map
+      (fun (n : Callgraph.node) ->
+        if mem_string "hot" n.attrs && in_typed_scope tctx n.file then Some (n.id, n.id)
+        else None)
+      (Callgraph.nodes tctx.graph)
+  in
+  typed_findings tctx ~rule:"R8" ~fact_kind:Callgraph.Alloc ~waiver:"lint.alloc_ok"
+    ~follow_guarded:true
+    ~skip_node:(fun ~root_id (n : Callgraph.node) ->
+      String.equal n.id root_id || mem_string "hot" n.attrs)
+    ~message:(fun ~origin ~detail ->
+      Printf.sprintf
+        "allocation (%s) reachable from [@hot] %s: the hot closure must be \
+         allocation-free — hoist, restructure, or annotate [@lint.alloc_ok]"
+        detail origin)
+    roots
+
+(* R9: nothing reachable from a task submitted to the domain pool may
+   mutate shared (non-local) state. Depth 0 included: R3 only sees
+   mutations written literally inside the closure; here the closure's
+   helpers count too. *)
+let r9_check tctx =
+  let roots =
+    List.filter_map
+      (fun (s : Callgraph.submission) ->
+        if in_typed_scope tctx s.sub_file then
+          Some (s.sub_root, Printf.sprintf "%s:%d" s.sub_file s.sub_line)
+        else None)
+      (Callgraph.submissions tctx.graph Callgraph.Pool_task)
+  in
+  typed_findings tctx ~rule:"R9" ~fact_kind:Callgraph.Mutates ~waiver:"lint.domain_safe"
+    ~follow_guarded:true
+    ~skip_node:(fun ~root_id:_ _ -> false)
+    ~message:(fun ~origin ~detail ->
+      Printf.sprintf
+        "shared-state mutation (%s) reachable from the pool task submitted at %s: \
+         tasks run on other domains — restructure, or annotate [@lint.domain_safe] \
+         if the writes are provably disjoint"
+        detail origin)
+    roots
+
+(* R10: event handlers must not let exceptions escape. Roots are the
+   RTR state machines' input functions, the cache server's handlers,
+   and every closure handed to the netsim clock; [raise Exit] and
+   raises under a catch-all [try] are allowed. *)
+let r10_handler_fns =
+  [ "connected"; "disconnected"; "receive"; "tick"; "poisoned"; "pending" ]
+
+let r10_named_root (n : Callgraph.node) =
+  match List.rev (String.split_on_char '.' n.id) with
+  | fn :: m :: _ ->
+    (String.equal m "Router_client" && mem_string fn r10_handler_fns)
+    || (String.equal m "Cache_server" && under_prefix "handle" fn)
+  | _ -> false
+
+let r10_check tctx =
+  let named =
+    List.filter_map
+      (fun (n : Callgraph.node) ->
+        if r10_named_root n && in_typed_scope tctx n.file then Some (n.id, n.id)
+        else None)
+      (Callgraph.nodes tctx.graph)
+  in
+  let callbacks =
+    List.filter_map
+      (fun (s : Callgraph.submission) ->
+        if in_typed_scope tctx s.sub_file then
+          Some (s.sub_root, Printf.sprintf "the clock callback at %s:%d" s.sub_file s.sub_line)
+        else None)
+      (Callgraph.submissions tctx.graph Callgraph.Event_callback)
+  in
+  typed_findings tctx ~rule:"R10" ~fact_kind:Callgraph.Raises ~waiver:"lint.raise_ok"
+    ~follow_guarded:false
+    ~skip_node:(fun ~root_id:_ _ -> false)
+    ~message:(fun ~origin ~detail ->
+      Printf.sprintf
+        "may raise (%s) on a path from %s: event handlers must not let exceptions \
+         escape — catch and degrade, or annotate [@lint.raise_ok]"
+        detail origin)
+    (named @ callbacks)
+
 (* --- registry ------------------------------------------------------- *)
 
 let all : t list =
@@ -555,6 +696,37 @@ let all : t list =
          Allocating calls (Array.make, sprintf, ...) are beyond a syntactic check. \
          Escape: [@lint.alloc_ok].";
       kind = File_rule r7_check };
+    { id = "R8";
+      name = "hot-closure-alloc";
+      severity = Finding.Error;
+      doc =
+        "[typed] Everything transitively reachable from a [@@hot] body must be \
+         allocation-free, not just the body itself (R7): helpers called — or passed \
+         around — from the hot path are walked through the .cmt call graph, and every \
+         finding carries the witness chain. Hot callees are excluded (R7 covers them \
+         as roots). Escape: [@lint.alloc_ok] on any binding along the chain.";
+      kind = Typed_rule r8_check };
+    { id = "R9";
+      name = "domain-shared-mutation";
+      severity = Finding.Error;
+      doc =
+        "[typed] Tasks submitted to Pool.parallel_map/parallel_iter/parallel_tasks \
+         must not reach a mutation of non-local state (ref assignment, container \
+         mutators, field writes) through any call chain — R3 only sees writes \
+         literally inside the closure. Atomic.* is the sanctioned primitive and is \
+         not flagged. Escape: [@lint.domain_safe] on any binding along the chain.";
+      kind = Typed_rule r9_check };
+    { id = "R10";
+      name = "exception-escape";
+      severity = Finding.Error;
+      doc =
+        "[typed] Router_client handlers (connected/disconnected/receive/tick/\
+         poisoned/pending), Cache_server.handle*, and closures handed to \
+         Clock.at/Clock.after/Wheel.advance must not reach a raise \
+         (raise/failwith/invalid_arg/assert, or a known-partial stdlib call) outside \
+         the allowlist: `raise Exit` and raises under a catch-all try are fine. \
+         Escape: [@lint.raise_ok] on any binding along the chain.";
+      kind = Typed_rule r10_check };
   ]
 
 let find ids =

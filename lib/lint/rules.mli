@@ -1,11 +1,18 @@
-(** The repo-specific lint rule catalogue (see DESIGN.md §9).
+(** The repo-specific lint rule catalogue (see DESIGN.md §9), in two
+    phases.
 
-    All checkers are syntactic — they walk the {!Parsetree} with
-    [Ast_iterator], with no typing environment — and each offers an
-    attribute escape hatch for sites the approximation gets wrong:
-    [[@lint.poly_ok]] (R1), [[@lint.unsafe_ok]] (R2),
-    [[@lint.domain_safe]] (R3), [[@lint.stdout_ok]] (R5),
-    [[@lint.encode_ok]] (R6). *)
+    R1–R7 are syntactic — they walk the {!Parsetree} with
+    [Ast_iterator], with no typing environment. R8–R10 are typed and
+    interprocedural: they consume the {!Callgraph} built from [.cmt]
+    artifacts and attach a witness call chain to every finding.
+
+    Each rule offers an attribute escape hatch for sites its
+    approximation gets wrong: [[@lint.poly_ok]] (R1),
+    [[@lint.unsafe_ok]] (R2), [[@lint.domain_safe]] (R3, R9),
+    [[@lint.stdout_ok]] (R5), [[@lint.encode_ok]] (R6),
+    [[@lint.alloc_ok]] (R7, R8), [[@lint.raise_ok]] (R10). For the
+    typed rules the waiver is honored on {e any} binding along the
+    call chain, killing everything beyond it. *)
 
 type file_context = {
   path : string;  (** '/'-separated path relative to the lint root *)
@@ -17,13 +24,24 @@ type tree_context = {
   tree_add : Finding.t -> unit;
 }
 
+type typed_context = {
+  typed_files : string list;
+      (** scanned files — typed roots are scoped to these, so cmts of
+          fixture or ignored code never seed findings *)
+  graph : Callgraph.t;
+  typed_add : Finding.t -> unit;
+}
+
 type kind =
   | File_rule of (file_context -> Parsetree.structure -> unit)
       (** runs once per parsed [.ml] file *)
   | Tree_rule of (tree_context -> unit)  (** runs once per lint invocation *)
+  | Typed_rule of (typed_context -> unit)
+      (** runs once per lint invocation, only when the typed phase is
+          enabled and [.cmt] artifacts were loadable *)
 
 type t = {
-  id : string;  (** "R1" .. "R6" *)
+  id : string;  (** "R1" .. "R10" *)
   name : string;  (** short slug, e.g. "poly-compare" *)
   severity : Finding.severity;
   doc : string;  (** one-paragraph rationale shown by [--list-rules] *)

@@ -143,10 +143,11 @@ let chunk_out t segments total =
   while !remaining > 0 do
     settle ();
     let size =
-      min !remaining
-        (Rng.int_in t.rng
-           (max 1 t.policy.Fault.chunk_min)
-           (max 1 t.policy.Fault.chunk_max))
+      (* hi is clamped to lo so the draw range is valid by
+         construction even under a misconfigured chunk_max < chunk_min *)
+      let lo = max 1 t.policy.Fault.chunk_min in
+      let hi = max lo t.policy.Fault.chunk_max in
+      min !remaining (Rng.int_in t.rng lo hi)
     in
     let cur = segs.(!si) in
     let chunk =

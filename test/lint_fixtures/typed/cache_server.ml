@@ -1,0 +1,18 @@
+(* R10-clean handlers: a catch-all try guards the raising callee, Exit
+   is allowlisted control flow, and a waived precondition helper. *)
+
+let parse s = if String.length s = 0 then failwith "empty" else s
+
+(* the raise cannot escape: catch-all try *)
+let handle s = try Some (parse s) with _ -> None
+
+(* raise Exit is conventional early-exit, allowlisted *)
+let handle_scan xs =
+  try
+    List.iter (fun x -> if x = 0 then raise Exit) xs;
+    false
+  with Exit -> true
+
+(* precondition guard: serials are validated at the wire boundary *)
+let require_serial n = if n < 0 then invalid_arg "serial" else n [@@lint.raise_ok]
+let handle_serial n = require_serial n

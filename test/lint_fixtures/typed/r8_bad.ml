@@ -1,0 +1,17 @@
+(* Deliberate R8 violations: each [@@hot] root is itself
+   allocation-free (that is R7's syntactic domain), but its transitive
+   callees allocate — only the call-graph closure can see it. *)
+
+(* depth-2 helper: the finding site *)
+let pair_with_self x = (x, x)
+
+(* depth-1: pure forwarding *)
+let via x = pair_with_self x
+
+let lookup x = via x [@@hot]
+
+(* a second chain through a function passed as a *value*: edges are
+   references, so [boxed] stays reachable from [probe] *)
+let boxed x = [ x ]
+let apply f x = f x
+let probe x = apply boxed x [@@hot]

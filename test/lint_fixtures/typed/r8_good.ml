@@ -1,0 +1,13 @@
+(* R8-clean counterparts: a pure chain, and an allocating helper
+   walled off by a waiver in the middle of the chain. *)
+
+let double x = x * 2
+let step x = double x
+let scale x = step x [@@hot]
+
+let list_of x = [ x ]
+
+(* the boxing is confined to a scratch list that never escapes *)
+let summarize x = match list_of x with [ y ] -> y | _ -> x [@@lint.alloc_ok]
+
+let report x = summarize x [@@hot]

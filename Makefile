@@ -13,8 +13,8 @@ SIM_SMOKE_JSON := BENCH_rtr_smoke.json
 FANOUT_SMOKE_JSON := BENCH_rtr_fanout_smoke.json
 ARENA_SMOKE_JSON := BENCH_arena_smoke.json
 
-.PHONY: build test lint lint-typed check bench bench-smoke bench-validate-smoke \
-	sim-smoke bench-fanout-smoke bench-arena-smoke clean
+.PHONY: build test lint lint-typed check check-sanitize bench bench-smoke \
+	bench-validate-smoke sim-smoke bench-fanout-smoke bench-arena-smoke clean
 
 build:
 	dune build
@@ -130,6 +130,20 @@ lint-typed:
 	@grep -q '"typed_units": [1-9]' $(LINT_JSON) || \
 		{ echo "lint-typed: typed phase did not run (no .cmt artifacts?)"; exit 1; }
 	@echo "lint-typed: OK (report in $(LINT_JSON))"
+
+# Handle-safety gate: re-run the arena differential suites and the
+# netsim sweep with the sanitizer on (ARENA_SANITIZE=1), so every
+# store widens its handles with generation tags, poisons freed slots
+# and bounds/liveness/generation-checks every accessor. Any stale or
+# cross-store handle the normal build would silently resolve raises
+# San.Violation here and fails the run. The arena suite also contains
+# a deliberately-stale-handle test asserting the sanitizer does fire.
+check-sanitize: build
+	ARENA_SANITIZE=1 dune exec test/test_arena.exe
+	ARENA_SANITIZE=1 dune exec test/test_compress.exe
+	ARENA_SANITIZE=1 dune exec test/test_validation.exe
+	ARENA_SANITIZE=1 dune exec test/test_netsim.exe
+	@echo "check-sanitize: OK"
 
 # The one-stop gate: build everything, run the test suites, lint the
 # tree (typed phase included), and smoke-check the parallel pipelines,

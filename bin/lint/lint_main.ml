@@ -3,7 +3,7 @@
    dune's .cmt artifacts.
 
    Usage: lint [PATHS...] [--rules R1,R3] [--typed] [--cmt-dir DIR]
-               [--format text|json] [--out FILE] [--baseline FILE]
+               [--format text|json|sarif] [--out FILE] [--baseline FILE]
                [--root DIR] [--list-rules]
 
    Exit status: 0 when no error-severity finding survives baseline
@@ -20,7 +20,7 @@ let usage =
   "lint [PATHS...] [options]\n\
    Static analysis for the rpki-maxlen tree. With no PATHS, lints lib/ bin/ bench/ \
    test/ under --root (default: the current directory).\n\n\
-   The syntactic rules (R1-R7) parse sources directly. The typed rules (R8-R10) \
+   The syntactic rules (R1-R7) parse sources directly. The typed rules (R8-R13) \
    need .cmt artifacts from a prior `dune build` and run with --typed (implied \
    when --rules selects a typed rule).\n\n\
    Options:"
@@ -41,11 +41,13 @@ let () =
         "IDS  comma-separated rule ids to run (default: all, e.g. R1,R3)" );
       ( "--typed",
         Arg.Set typed,
-        " enable the typed phase (R8-R10) over _build .cmt artifacts" );
+        " enable the typed phase (R8-R13) over _build .cmt artifacts" );
       ( "--cmt-dir",
         Arg.Set_string cmt_dir,
         "DIR  where to look for .cmt files (default: ROOT/_build/default)" );
-      ("--format", Arg.Set_string format, "FMT  output format: text (default) or json");
+      ( "--format",
+        Arg.Set_string format,
+        "FMT  output format: text (default), json, or sarif (2.1.0)" );
       ("--out", Arg.Set_string out, "FILE  write the report to FILE instead of stdout");
       ( "--baseline",
         Arg.Set_string baseline,
@@ -112,8 +114,9 @@ let () =
     match !format with
     | "text" -> Engine.to_text report
     | "json" -> Engine.to_json report
+    | "sarif" -> Engine.to_sarif report
     | f ->
-      Printf.eprintf "lint: unknown format %S (expected text or json)\n" f;
+      Printf.eprintf "lint: unknown format %S (expected text, json, or sarif)\n" f;
       exit 2
   in
   (if String.equal !out "" then print_string rendered

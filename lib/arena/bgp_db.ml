@@ -17,28 +17,34 @@ module K = Pfx_key
    [ases] tracks every ASN ever added (the record table's semantics:
    its AS census never shrank because it had no removal). *)
 
+type handle = int
+
 type t = {
   v4 : Itrie.t;
   v6 : Itrie.t;
   mutable o_asn : int array;
   mutable o_nxt : int array;
+  mutable o_gen : int array;
   mutable e_used : int;
   mutable e_free : int;
   mutable count : int;
   ases : (int, unit) Hashtbl.t;
+  san : bool;
 }
 
 let create ?(capacity = 64) () =
   let cap = if capacity < 8 then 8 else capacity in
   {
-    v4 = Itrie.create ~capacity:cap Pfx.Afi_v4;
-    v6 = Itrie.create ~capacity:cap Pfx.Afi_v6;
+    v4 = Itrie.create ~capacity:cap ~name:"bgp_db.v4" Pfx.Afi_v4;
+    v6 = Itrie.create ~capacity:cap ~name:"bgp_db.v6" Pfx.Afi_v6;
     o_asn = Array.make cap (-1);
     o_nxt = Array.make cap (-1);
+    o_gen = Array.make cap 0;
     e_used = 0;
     e_free = -1;
     count = 0;
     ases = Hashtbl.create 1024;
+    san = San.enabled ();
   }
 
 let cardinal t = t.count
@@ -49,13 +55,14 @@ let as_count t = Hashtbl.length t.ases
 let grow_entries t =
   let cap = Array.length t.o_asn in
   let ncap = cap * 2 in
-  let extend a =
-    let b = Array.make ncap (-1) in
+  let extend fill a =
+    let b = Array.make ncap fill in
     Array.blit a 0 b 0 cap;
     b
   in
-  t.o_asn <- extend t.o_asn;
-  t.o_nxt <- extend t.o_nxt
+  t.o_asn <- extend (-1) t.o_asn;
+  t.o_nxt <- extend (-1) t.o_nxt;
+  t.o_gen <- extend 0 t.o_gen
 
 let alloc_entry t ~asn ~next =
   let i =
@@ -78,7 +85,34 @@ let alloc_entry t ~asn ~next =
 let free_entry t e =
   t.o_asn.(e) <- -1;
   t.o_nxt.(e) <- t.e_free;
-  t.e_free <- e
+  t.e_free <- e;
+  if t.san then t.o_gen.(e) <- t.o_gen.(e) + 1
+
+(* --- sanitized entry handles ----------------------------------------- *)
+
+(* Same discipline as {!Itrie}/{!Vrp_db}: public handles carry a
+   generation tag in sanitized mode; internal chain walks stay on raw
+   indices (tag bits zero, bounds/liveness checks only). *)
+let e_tag t e = if t.san && e >= 0 then ((t.o_gen.(e) + 1) lsl 32) lor e else e
+
+let e_stale t ~op h i g =
+  San.fail ~store:"bgp_db" ~op ~handle:h
+    (Printf.sprintf "stale generation %d; entry %d is now at generation %d (slot recycled after remove)"
+       (g - 1) i t.o_gen.(i))
+  [@@lint.alloc_ok] [@@lint.raise_ok]
+
+let e_live t ~op h =
+  if not t.san then h
+  else begin
+    let i = h land 0xffff_ffff in
+    let g = h lsr 32 in
+    if h < 0 || i >= t.e_used then
+      San.fail ~store:"bgp_db" ~op ~handle:h "entry index out of bounds (alien handle?)"
+    else if t.o_asn.(i) < 0 then
+      San.fail ~store:"bgp_db" ~op ~handle:h "use-after-free: entry is on the freelist"
+    else if g <> 0 && g - 1 <> t.o_gen.(i) then e_stale t ~op h i g
+    else i
+  end
 
 let add t p ~asn =
   Hashtbl.replace t.ases asn ();
@@ -160,12 +194,30 @@ let remove t p ~asn =
     removed
   end
 
+(* --- public origin-chain cursor -------------------------------------- *)
+
+let first t p =
+  let tr = trie_for t p in
+  let n = Itrie.find tr p in
+  if n < 0 then -1
+  else begin
+    let head = Itrie.value tr n in
+    if head < 0 then -1 else e_tag t head
+  end
+
+let next t h =
+  let nx = t.o_nxt.(e_live t ~op:"next" h) in
+  if nx < 0 then -1 else e_tag t nx
+
+let origin t h = t.o_asn.(e_live t ~op:"origin" h)
+
 (* --- hot queries ----------------------------------------------------- *)
 
 (* Ascending chains: stop as soon as the entry ASN passes the probe. *)
 let rec chain_mem o_asn o_nxt e asn =
   e >= 0
-  && (o_asn.(e) = asn || (o_asn.(e) < asn && chain_mem o_asn o_nxt o_nxt.(e) asn))
+  && (Array.unsafe_get o_asn e = asn
+     || (Array.unsafe_get o_asn e < asn && chain_mem o_asn o_nxt (Array.unsafe_get o_nxt e) asn))
   [@@hot]
 
 let mem t p ~asn =
@@ -180,14 +232,20 @@ let mem t p ~asn =
    and the v4 variant collapses the cover test to one xor+mask — an
    IPv4 key lives entirely in chunk 0. *)
 let rec ancestor_v4 c0a lena vala lefta righta o_asn o_nxt q0 ql asn n =
-  let nl = lena.(n) in
+  let nl = Array.unsafe_get lena n in
   nl < ql
-  && (q0 lxor c0a.(n)) land K.hi_mask nl = 0
-  && ((vala.(n) >= 0 && chain_mem o_asn o_nxt vala.(n) asn)
+  && (q0 lxor Array.unsafe_get c0a n) land K.hi_mask nl = 0
+  && ((Array.unsafe_get vala n >= 0 && chain_mem o_asn o_nxt (Array.unsafe_get vala n) asn)
      ||
-     let c = if (q0 lsr (31 - nl)) land 1 = 1 then righta.(n) else lefta.(n) in
+     let c =
+       if (q0 lsr (31 - nl)) land 1 = 1 then Array.unsafe_get righta n
+       else Array.unsafe_get lefta n
+     in
      c >= 0 && ancestor_v4 c0a lena vala lefta righta o_asn o_nxt q0 ql asn c)
   [@@hot]
+  [@@lint.unsafe_idx_ok
+    "n is Itrie.root or a child pointer checked non-negative before the recursive call; \
+     live indices never exceed the hoisted columns' length"]
 
 let rec ancestor_v6 c0a c1a c2a c3a lena vala lefta righta o_asn o_nxt q0 q1 q2 q3 ql asn n =
   let nl = lena.(n) in
@@ -233,7 +291,8 @@ let rec count_go (tr : Itrie.t) o_asn o_nxt asn base max_len counts n =
 let count_into t p ~asn ~base ~max_len counts =
   let tr = trie_for t p in
   let n = Itrie.subtree_root tr p in
-  if n >= 0 then count_go tr t.o_asn t.o_nxt asn base max_len counts n
+  if n >= 0 then
+    count_go tr t.o_asn t.o_nxt asn base max_len counts (Itrie.live_index tr n)
   [@@hot]
 
 (* --- views ----------------------------------------------------------- *)
@@ -272,7 +331,7 @@ let under_list t p ~asn ~make =
     else tail
   in
   let n = Itrie.subtree_root tr p in
-  if n < 0 then [] else go n []
+  if n < 0 then [] else go (Itrie.live_index tr n) []
 
 let fold_all t ~init ~f =
   let per_trie tr acc =

@@ -10,9 +10,21 @@
 
     The paper's hot queries — membership, same-origin ancestor, the
     per-length census behind minimality checks — are single
-    allocation-free descents ([@@hot], enforced by lint rule R7). *)
+    allocation-free descents ([@@hot], enforced by lint rule R7).
+
+    Under {!San} sanitized mode (captured at [create]) the origin
+    columns gain a generation counter: {!remove} bumps the freed
+    entry's generation, public entry handles carry a generation tag,
+    and the cursor accessors raise {!San.Violation} on a stale, freed
+    or out-of-bounds handle. *)
 
 type t
+
+type handle = int
+(** An entry handle — a cursor into one prefix's origin chain.
+    Normally a bare entry index; generation-tagged when sanitized.
+    Treat as opaque: compare only against -1 and pass back to the
+    table that issued it. *)
 
 val create : ?capacity:int -> unit -> t
 
@@ -26,6 +38,16 @@ val remove : t -> Netaddr.Pfx.t -> asn:int -> bool
 (** Withdraw a pair (freeing its entry slot, and the prefix's trie
     node when no origin remains); [false] when absent. The AS census
     ({!as_count}) is not decremented — it counts ASNs ever seen. *)
+
+val first : t -> Netaddr.Pfx.t -> handle
+(** Head of the origin chain for exactly this prefix, or -1 when the
+    prefix is not announced. *)
+
+val next : t -> handle -> handle
+(** Successor entry in the chain (ascending ASN), or -1. *)
+
+val origin : t -> handle -> int
+(** The entry's origin ASN. *)
 
 val mem : t -> Netaddr.Pfx.t -> asn:int -> bool
 

@@ -26,6 +26,8 @@ module K = Pfx_key
    doubles the columns and never moves a live node: handles are stable
    for the lifetime of the binding. *)
 
+type handle = int
+
 type t = {
   family : Pfx.afi;
   mutable c0 : int array;
@@ -37,15 +39,18 @@ type t = {
   mutable right : int array;
   mutable value : int array;
   mutable aux : int array;
+  mutable gen : int array;
   mutable used : int;
   mutable free_head : int;
   mutable count : int;
+  san : bool;
+  name : string;
 }
 
 let nil = -1
 let root = 0
 
-let create ?(capacity = 64) family =
+let create ?(capacity = 64) ?(name = "itrie") family =
   let cap = if capacity < 8 then 8 else capacity in
   {
     family;
@@ -58,11 +63,54 @@ let create ?(capacity = 64) family =
     right = Array.make cap nil;
     value = Array.make cap nil;
     aux = Array.make cap nil;
+    gen = Array.make cap 0;
     (* slot 0 is the /0 root: zero chunks, zero length, no value *)
     used = 1;
     free_head = nil;
     count = 0;
+    san = San.enabled ();
+    name;
   }
+
+(* --- sanitizer plumbing ---------------------------------------------- *)
+
+(* Under the sanitizer a handle returned by a public operation is
+   widened to [((gen + 1) lsl 32) lor index]: the +1 keeps the tag
+   bits nonzero so a tagged handle is distinguishable from a raw
+   index. Raw indices remain legal currency — the compress merge phase
+   walks [left]/[right] directly and feeds what it finds back into
+   [set_value]/[override_value] — they just get bounds and liveness
+   checks instead of the generation check. [nil] passes through
+   untagged so absence tests ([find t p < 0]) keep working. *)
+let tag t i = if t.san && i >= 0 then ((t.gen.(i) + 1) lsl 32) lor i else i
+
+(* Failure-path helper: the message allocation only happens when the
+   violation fires, which aborts the computation anyway. *)
+let stale t ~op h i g =
+  San.fail ~store:t.name ~op ~handle:h
+    (Printf.sprintf
+       "stale generation %d; slot %d is now at generation %d (held across reset, or \
+        slot recycled after free)"
+       (g - 1) i t.gen.(i))
+  [@@lint.alloc_ok] [@@lint.raise_ok]
+
+(* Decode + check a caller-supplied handle into a raw index: bounds
+   and liveness always, generation only when the handle carries tag
+   bits. The identity function when the sanitizer is off. *)
+let live t ~op h =
+  if not t.san then h
+  else begin
+    let i = h land 0xffff_ffff in
+    let g = h lsr 32 in
+    if h < 0 || i >= t.used then
+      San.fail ~store:t.name ~op ~handle:h "index out of bounds (freed store or alien handle?)"
+    else if t.len.(i) < 0 then
+      San.fail ~store:t.name ~op ~handle:h "use-after-free: slot is on the freelist"
+    else if g <> 0 && g - 1 <> t.gen.(i) then stale t ~op h i g
+    else i
+  end
+
+let live_index t h = live t ~op:"live_index" h
 
 let afi t = t.family
 let cardinal t = t.count
@@ -85,7 +133,8 @@ let grow t =
   t.left <- extend nil t.left;
   t.right <- extend nil t.right;
   t.value <- extend nil t.value;
-  t.aux <- extend nil t.aux
+  t.aux <- extend nil t.aux;
+  t.gen <- extend 0 t.gen
 
 (* Fresh node: children, value and aux all nil. Freed slots were
    scrubbed on free; grown slots carry the fill value. *)
@@ -116,10 +165,21 @@ let free_node t i =
   t.right.(i) <- nil;
   t.value.(i) <- nil;
   t.aux.(i) <- nil;
-  t.c0.(i) <- 0;
-  t.c1.(i) <- 0;
-  t.c2.(i) <- 0;
-  t.c3.(i) <- 0;
+  if t.san then begin
+    (* invalidate every tagged handle to this slot, and poison the
+       chunks so a raw read of the recycled slot is recognizable *)
+    t.gen.(i) <- t.gen.(i) + 1;
+    t.c0.(i) <- San.poison;
+    t.c1.(i) <- San.poison;
+    t.c2.(i) <- San.poison;
+    t.c3.(i) <- San.poison
+  end
+  else begin
+    t.c0.(i) <- 0;
+    t.c1.(i) <- 0;
+    t.c2.(i) <- 0;
+    t.c3.(i) <- 0
+  end;
   t.left.(i) <- t.free_head;
   t.free_head <- i
 
@@ -136,6 +196,19 @@ let reset t =
     t.value.(i) <- nil;
     t.aux.(i) <- nil
   done;
+  if t.san then begin
+    (* every outstanding tagged handle — the root's included — dies
+       with the epoch; chunks of non-root slots are poisoned (the root
+       keeps its /0 key: it is live in the fresh epoch too) *)
+    t.gen.(0) <- t.gen.(0) + 1;
+    for i = 1 to t.used - 1 do
+      t.gen.(i) <- t.gen.(i) + 1;
+      t.c0.(i) <- San.poison;
+      t.c1.(i) <- San.poison;
+      t.c2.(i) <- San.poison;
+      t.c3.(i) <- San.poison
+    done
+  end;
   t.used <- 1;
   t.free_head <- nil;
   t.count <- 0
@@ -186,19 +259,20 @@ let rec probe_go t q0 q1 q2 q3 ql n =
     end
   end
 
-let probe_chunks t ~c0 ~c1 ~c2 ~c3 ~len = probe_go t c0 c1 c2 c3 len root
+let probe_chunks t ~c0 ~c1 ~c2 ~c3 ~len = tag t (probe_go t c0 c1 c2 c3 len root)
 
 let probe t p =
   check_family t p;
-  probe_go t (K.c0 p) (K.c1 p) (K.c2 p) (K.c3 p) (Pfx.length p) root
+  tag t (probe_go t (K.c0 p) (K.c1 p) (K.c2 p) (K.c3 p) (Pfx.length p) root)
 
 (* --- payload accessors --------------------------------------------- *)
 
-let value t i = t.value.(i)
-let aux t i = t.aux.(i)
-let set_aux t i v = t.aux.(i) <- v
+let value t i = t.value.(live t ~op:"value" i)
+let aux t i = t.aux.(live t ~op:"aux" i)
+let set_aux t i v = t.aux.(live t ~op:"set_aux" i) <- v
 
 let set_value t i v =
+  let i = live t ~op:"set_value" i in
   if v < 0 then invalid_arg "Itrie.set_value: payloads must be >= 0";
   if t.value.(i) < 0 then t.count <- t.count + 1;
   t.value.(i) <- v
@@ -208,6 +282,7 @@ let set_value t i v =
    values at interior nodes it will walk again, so structural cleanup
    is deferred to the trie's disposal. *)
 let override_value t i v =
+  let i = live t ~op:"override_value" i in
   (* branch on the two bound-states directly: this sits on the hot
      compress path (R8), where even a matched-away tuple is banned *)
   let was_bound = t.value.(i) >= 0 and now_bound = v >= 0 in
@@ -216,6 +291,7 @@ let override_value t i v =
   t.value.(i) <- v
 
 let prefix_at t i =
+  let i = live t ~op:"prefix_at" i in
   K.to_pfx t.family ~c0:t.c0.(i) ~c1:t.c1.(i) ~c2:t.c2.(i) ~c3:t.c3.(i) ~len:t.len.(i)
 
 (* --- exact lookup ---------------------------------------------------- *)
@@ -230,11 +306,11 @@ let rec find_go t q0 q1 q2 q3 ql n =
     if c < 0 then nil else find_go t q0 q1 q2 q3 ql c
   end
 
-let find_chunks t ~c0 ~c1 ~c2 ~c3 ~len = find_go t c0 c1 c2 c3 len root
+let find_chunks t ~c0 ~c1 ~c2 ~c3 ~len = tag t (find_go t c0 c1 c2 c3 len root)
 
 let find t p =
   check_family t p;
-  find_go t (K.c0 p) (K.c1 p) (K.c2 p) (K.c3 p) (Pfx.length p) root
+  tag t (find_go t (K.c0 p) (K.c1 p) (K.c2 p) (K.c3 p) (Pfx.length p) root)
 
 (* --- removal with contraction ---------------------------------------- *)
 
@@ -318,16 +394,16 @@ let rec subtree_go t q0 q1 q2 q3 ql n =
     if c < 0 then nil else subtree_go t q0 q1 q2 q3 ql c
   end
 
-let subtree_root_chunks t ~c0 ~c1 ~c2 ~c3 ~len = subtree_go t c0 c1 c2 c3 len root
+let subtree_root_chunks t ~c0 ~c1 ~c2 ~c3 ~len = tag t (subtree_go t c0 c1 c2 c3 len root)
 
 let subtree_root t p =
   check_family t p;
-  subtree_go t (K.c0 p) (K.c1 p) (K.c2 p) (K.c3 p) (Pfx.length p) root
+  tag t (subtree_go t (K.c0 p) (K.c1 p) (K.c2 p) (K.c3 p) (Pfx.length p) root)
 
 (* --- in-order traversal over bound nodes ----------------------------- *)
 
 let rec fold_node t n acc f =
-  let acc = if t.value.(n) >= 0 then f acc n else acc in
+  let acc = if t.value.(n) >= 0 then f acc (tag t n) else acc in
   let acc =
     let l = t.left.(n) in
     if l >= 0 then fold_node t l acc f else acc
@@ -384,9 +460,14 @@ let self_check t =
       seen.(i) <- 2;
       if t.len.(i) >= 0 then bad "freelist slot %d not marked free" i;
       if t.value.(i) >= 0 then bad "freelist slot %d still carries a value" i;
+      if t.san && t.gen.(i) < 1 then
+        bad "freelist slot %d was freed without a generation bump" i;
       incr freed;
       cursor := t.left.(i)
     done;
+    if Array.length t.gen <> cap then
+      bad "generation column length %d out of step with capacity %d" (Array.length t.gen)
+        cap;
     if !reachable + !freed <> t.used then
       bad "reachable %d + freed %d <> used %d (leaked slots)" !reachable !freed t.used;
     if !valued <> t.count then bad "count %d but %d valued nodes" t.count !valued;

@@ -13,7 +13,25 @@
     The representation is exposed read-only so sibling hot paths
     (validate, ancestor walks, the compression workers) can traverse
     the columns directly without per-step function calls or closures;
-    all mutation goes through the operations below. *)
+    all mutation goes through the operations below.
+
+    {b Sanitizer.} When {!San.enabled} is set at [create] time, the
+    store runs in sanitized mode: handles carry a generation tag in
+    their upper bits, {!remove} and {!reset} bump the per-slot
+    generation and poison the freed prefix chunks, and every accessor
+    checks bounds, liveness and generation — a handle held across a
+    [reset] or a recycled slot raises {!San.Violation} instead of
+    silently reading reused columns. Untagged (raw-index) handles are
+    still accepted so internal walkers that read the columns directly
+    keep working; they get bounds and liveness checks only. In normal
+    mode handles are bare indices and the accessors cost exactly what
+    they did before the sanitizer existed. *)
+
+type handle = int
+(** A node handle. Normally a bare column index; in sanitized stores,
+    widened with a generation tag ([(gen + 1) lsl 32 lor index]). Treat
+    as opaque: compare only against {!nil} and pass back to the store
+    that issued it. *)
 
 type t = private {
   family : Netaddr.Pfx.afi;
@@ -26,21 +44,25 @@ type t = private {
   mutable right : int array;
   mutable value : int array;  (** payload >= 0, or -1 when unbound *)
   mutable aux : int array;  (** secondary payload slot, -1 default *)
-  mutable used : int;  (** high-water mark: all handles are < used *)
+  mutable gen : int array;  (** per-slot generation; bumped on free/reset when sanitized *)
+  mutable used : int;  (** high-water mark: all raw indices are < used *)
   mutable free_head : int;
   mutable count : int;  (** number of bound (valued) nodes *)
+  san : bool;  (** sanitized mode, captured from {!San.enabled} at creation *)
+  name : string;  (** store name reported in {!San.Violation} messages *)
 }
 
-val nil : int
+val nil : handle
 (** The null node handle, -1. *)
 
-val root : int
+val root : handle
 (** The permanent /0 sentinel root's handle, 0. It never holds a value
     and is never freed. *)
 
-val create : ?capacity:int -> Netaddr.Pfx.afi -> t
-val afi : t -> Netaddr.Pfx.afi
+val create : ?capacity:int -> ?name:string -> Netaddr.Pfx.afi -> t
+(** [name] (default ["itrie"]) labels sanitizer violation messages. *)
 
+val afi : t -> Netaddr.Pfx.afi
 val cardinal : t -> int
 (** Number of bound prefixes. *)
 
@@ -49,29 +71,35 @@ val is_empty : t -> bool
 val capacity : t -> int
 (** Current column length (slots, not bound prefixes). *)
 
-val probe : t -> Netaddr.Pfx.t -> int
+val probe : t -> Netaddr.Pfx.t -> handle
 (** Find-or-create the node for this exact prefix and return its
     handle; the value is untouched (a fresh node starts unbound).
     @raise Invalid_argument on a family mismatch. *)
 
-val probe_chunks : t -> c0:int -> c1:int -> c2:int -> c3:int -> len:int -> int
+val probe_chunks : t -> c0:int -> c1:int -> c2:int -> c3:int -> len:int -> handle
 (** {!probe} on an already-decomposed key ({!Pfx_key}). *)
 
-val find : t -> Netaddr.Pfx.t -> int
+val find : t -> Netaddr.Pfx.t -> handle
 (** Handle of the node storing exactly this prefix (bound or fork), or
     {!nil}. *)
 
-val find_chunks : t -> c0:int -> c1:int -> c2:int -> c3:int -> len:int -> int
+val find_chunks : t -> c0:int -> c1:int -> c2:int -> c3:int -> len:int -> handle
 
-val value : t -> int -> int
-val aux : t -> int -> int
-val set_aux : t -> int -> int -> unit
+val live_index : t -> handle -> int
+(** Decode a handle into a raw column index, running the sanitizer
+    checks when the store is sanitized — the bridge for column-walking
+    code that received a tagged handle.
+    @raise San.Violation on a dead, stale or out-of-bounds handle. *)
 
-val set_value : t -> int -> int -> unit
+val value : t -> handle -> int
+val aux : t -> handle -> int
+val set_aux : t -> handle -> int -> unit
+
+val set_value : t -> handle -> int -> unit
 (** Bind a payload (>= 0) to a node handle.
     @raise Invalid_argument on a negative payload. *)
 
-val override_value : t -> int -> int -> unit
+val override_value : t -> handle -> int -> unit
 (** Like {!set_value} but also accepts -1, unbinding the node {e
     without} contraction — for scratch tries whose structure is
     discarded wholesale (the compress merge phase absorbs child values
@@ -96,17 +124,17 @@ val covering_max_chunks : t -> c0:int -> c1:int -> c2:int -> c3:int -> len:int -
     exact node), or -1 when no covering node is bound — the
     domination primitive of covered-tuple elimination. *)
 
-val subtree_root : t -> Netaddr.Pfx.t -> int
+val subtree_root : t -> Netaddr.Pfx.t -> handle
 (** Topmost node whose subtree holds exactly the stored prefixes the
     query covers, or {!nil} (cf. {!Ptrie.subtree_root}). *)
 
-val subtree_root_chunks : t -> c0:int -> c1:int -> c2:int -> c3:int -> len:int -> int
+val subtree_root_chunks : t -> c0:int -> c1:int -> c2:int -> c3:int -> len:int -> handle
 
-val prefix_at : t -> int -> Netaddr.Pfx.t
+val prefix_at : t -> handle -> Netaddr.Pfx.t
 (** Rebuild the boxed prefix of a live node — view-layer only;
     allocates. *)
 
-val fold_bound : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+val fold_bound : t -> init:'a -> f:('a -> handle -> 'a) -> 'a
 (** In-order (address, then length) fold over bound node handles — the
     same visit order as [Ptrie.fold]. *)
 
@@ -115,4 +143,5 @@ val self_check : t -> (unit, string) result
     visited once, interior valueless nodes are forks, children extend
     their parent, the freelist is disjoint from the tree, marked free,
     and together they account for every allocated slot, and [count]
-    matches the valued-node census. *)
+    matches the valued-node census. In sanitized stores, additionally
+    audits that every freelist slot saw a generation bump. *)

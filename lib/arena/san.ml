@@ -1,0 +1,21 @@
+exception Violation of string
+
+let env_enabled =
+  match Sys.getenv_opt "ARENA_SANITIZE" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | Some _ | None -> false
+
+let flag = ref env_enabled
+let enabled () = !flag
+let set_enabled b = flag := b
+
+let poison = 0xDEAD_BEEF
+
+(* Violations are meant to abort the offending computation: the raise
+   is the point, and the message allocation only happens on the
+   failure path — hence the blanket waivers for the typed rules that
+   would otherwise flag every accessor reachable from a hot or
+   handler-rooted chain. *)
+let fail ~store ~op ~handle msg =
+  raise (Violation (Printf.sprintf "%s.%s: handle %#x: %s" store op handle msg))
+  [@@lint.alloc_ok] [@@lint.raise_ok]

@@ -22,14 +22,18 @@ module K = Pfx_key
    loops over these columns: no closures, no options, no tuples — the
    [@@hot] marks are enforced by lint rule R7. *)
 
+type handle = int
+
 type t = {
   v4 : Itrie.t;
   v6 : Itrie.t;
   mutable pack : int array;
   mutable nxt : int array;
+  mutable e_gen : int array;
   mutable e_used : int;
   mutable e_free : int;
   mutable count : int;
+  san : bool;
 }
 
 let mask32 = 0xffff_ffff
@@ -37,13 +41,15 @@ let mask32 = 0xffff_ffff
 let create ?(capacity = 64) () =
   let cap = if capacity < 8 then 8 else capacity in
   {
-    v4 = Itrie.create ~capacity:cap Pfx.Afi_v4;
-    v6 = Itrie.create ~capacity:cap Pfx.Afi_v6;
+    v4 = Itrie.create ~capacity:cap ~name:"vrp_db.v4" Pfx.Afi_v4;
+    v6 = Itrie.create ~capacity:cap ~name:"vrp_db.v6" Pfx.Afi_v6;
     pack = Array.make cap (-1);
     nxt = Array.make cap (-1);
+    e_gen = Array.make cap 0;
     e_used = 0;
     e_free = -1;
     count = 0;
+    san = San.enabled ();
   }
 
 let cardinal t = t.count
@@ -52,13 +58,14 @@ let trie_for t p = match Pfx.afi p with Pfx.Afi_v4 -> t.v4 | Pfx.Afi_v6 -> t.v6
 let grow_entries t =
   let cap = Array.length t.pack in
   let ncap = cap * 2 in
-  let extend a =
-    let b = Array.make ncap (-1) in
+  let extend fill a =
+    let b = Array.make ncap fill in
     Array.blit a 0 b 0 cap;
     b
   in
-  t.pack <- extend t.pack;
-  t.nxt <- extend t.nxt
+  t.pack <- extend (-1) t.pack;
+  t.nxt <- extend (-1) t.nxt;
+  t.e_gen <- extend 0 t.e_gen
 
 let alloc_entry t ~pack ~next =
   let i =
@@ -81,7 +88,35 @@ let alloc_entry t ~pack ~next =
 let free_entry t e =
   t.pack.(e) <- -1;
   t.nxt.(e) <- t.e_free;
-  t.e_free <- e
+  t.e_free <- e;
+  if t.san then t.e_gen.(e) <- t.e_gen.(e) + 1
+
+(* --- sanitized entry handles ----------------------------------------- *)
+
+(* Same discipline as {!Itrie}: a public entry handle is a bare index
+   in normal mode and [(gen + 1) lsl 32 lor index] in sanitized mode;
+   internal chain walks keep using raw indices (decoded with the tag
+   bits at zero, so they get bounds/liveness checks only). *)
+let e_tag t e = if t.san && e >= 0 then ((t.e_gen.(e) + 1) lsl 32) lor e else e
+
+let e_stale t ~op h i g =
+  San.fail ~store:"vrp_db" ~op ~handle:h
+    (Printf.sprintf "stale generation %d; entry %d is now at generation %d (slot recycled after remove)"
+       (g - 1) i t.e_gen.(i))
+  [@@lint.alloc_ok] [@@lint.raise_ok]
+
+let e_live t ~op h =
+  if not t.san then h
+  else begin
+    let i = h land mask32 in
+    let g = h lsr 32 in
+    if h < 0 || i >= t.e_used then
+      San.fail ~store:"vrp_db" ~op ~handle:h "entry index out of bounds (alien handle?)"
+    else if t.pack.(i) < 0 then
+      San.fail ~store:"vrp_db" ~op ~handle:h "use-after-free: entry is on the freelist"
+    else if g <> 0 && g - 1 <> t.e_gen.(i) then e_stale t ~op h i g
+    else i
+  end
 
 (* Build-path insertion: no duplicate scan, unconditional prepend. The
    caller feeds distinct tuples in descending canonical order (see
@@ -168,6 +203,24 @@ let remove t p ~max_len ~asn =
     removed
   end
 
+(* --- public entry-chain cursor --------------------------------------- *)
+
+let first t p =
+  let tr = trie_for t p in
+  let n = Itrie.find tr p in
+  if n < 0 then -1
+  else begin
+    let head = Itrie.value tr n in
+    if head < 0 then -1 else e_tag t head
+  end
+
+let next t h =
+  let nx = t.nxt.(e_live t ~op:"next" h) in
+  if nx < 0 then -1 else e_tag t nx
+
+let entry_max_len t h = t.pack.(e_live t ~op:"entry_max_len" h) lsr 32
+let entry_asn t h = t.pack.(e_live t ~op:"entry_asn" h) land mask32
+
 (* --- RFC 6811 validate: one allocation-free descent ------------------ *)
 
 (* Does some entry of this chain authorize (origin [asn], length [ql])?
@@ -176,8 +229,8 @@ let remove t p ~max_len ~asn =
    itself is AS0, and then skip the scan entirely). *)
 let rec chain_authorizes pack nxt e ql asn =
   e >= 0
-  && ((pack.(e) land mask32 = asn && ql <= pack.(e) lsr 32)
-     || chain_authorizes pack nxt nxt.(e) ql asn)
+  && ((Array.unsafe_get pack e land mask32 = asn && ql <= Array.unsafe_get pack e lsr 32)
+     || chain_authorizes pack nxt (Array.unsafe_get nxt e) ql asn)
   [@@hot]
 
 (* 0 = Valid, 1 = Invalid, 2 = NotFound. [found] tracks whether any
@@ -191,20 +244,27 @@ let rec chain_authorizes pack nxt e ql asn =
    entirely in chunk 0 — its cover test is one xor+mask instead of
    four. *)
 let rec validate_v4 c0a lena vala lefta righta pack nxt q0 ql asn n found =
-  let nl = lena.(n) in
-  if not (nl <= ql && (q0 lxor c0a.(n)) land K.hi_mask nl = 0) then if found then 1 else 2
+  let nl = Array.unsafe_get lena n in
+  if not (nl <= ql && (q0 lxor Array.unsafe_get c0a n) land K.hi_mask nl = 0) then
+    if found then 1 else 2
   else begin
-    let head = vala.(n) in
+    let head = Array.unsafe_get vala n in
     let found = found || head >= 0 in
     if asn <> 0 && head >= 0 && chain_authorizes pack nxt head ql asn then 0
     else if nl >= ql then if found then 1 else 2
     else begin
-      let c = if (q0 lsr (31 - nl)) land 1 = 1 then righta.(n) else lefta.(n) in
+      let c =
+        if (q0 lsr (31 - nl)) land 1 = 1 then Array.unsafe_get righta n
+        else Array.unsafe_get lefta n
+      in
       if c < 0 then if found then 1 else 2
       else validate_v4 c0a lena vala lefta righta pack nxt q0 ql asn c found
     end
   end
   [@@hot]
+  [@@lint.unsafe_idx_ok
+    "n is Itrie.root or a child pointer checked non-negative before the recursive call; \
+     live indices never exceed the hoisted columns' length"]
 
 let rec validate_v6 c0a c1a c2a c3a lena vala lefta righta pack nxt q0 q1 q2 q3 ql asn n
     found =

@@ -11,9 +11,21 @@
 
     [validate] and [covering_count] are single allocation-free
     descents over the columns, enforced by lint rule R7 via their
-    [@@hot] marks. *)
+    [@@hot] marks.
+
+    Under {!San} sanitized mode (captured at [create]) the entry
+    columns gain a generation counter: {!remove} bumps the freed
+    entry's generation, public entry handles carry a generation tag,
+    and the cursor accessors raise {!San.Violation} on a stale,
+    freed or out-of-bounds handle. *)
 
 type t
+
+type handle = int
+(** An entry handle — a cursor into one prefix's (max_len, asn) chain.
+    Normally a bare entry index; generation-tagged when sanitized.
+    Treat as opaque: compare only against -1 and pass back to the
+    database that issued it. *)
 
 val create : ?capacity:int -> unit -> t
 
@@ -33,6 +45,16 @@ val add : t -> Netaddr.Pfx.t -> max_len:int -> asn:int -> bool
 val remove : t -> Netaddr.Pfx.t -> max_len:int -> asn:int -> bool
 (** Unlink an entry (freeing its slot, and the prefix's trie node when
     the chain empties); [false] when absent. *)
+
+val first : t -> Netaddr.Pfx.t -> handle
+(** Head of the entry chain for exactly this prefix, or -1 when the
+    prefix holds no entries. *)
+
+val next : t -> handle -> handle
+(** Successor entry in the chain (ascending (max_len, asn)), or -1. *)
+
+val entry_max_len : t -> handle -> int
+val entry_asn : t -> handle -> int
 
 val validate : t -> Netaddr.Pfx.t -> asn:int -> int
 (** RFC 6811 in one allocation-free descent:

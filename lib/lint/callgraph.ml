@@ -20,7 +20,15 @@
    nothing rather than to the wrong node. Same-unit references resolve
    exactly, by Ident stamp. *)
 
-type fact_kind = Alloc | Mutates | Raises
+type fact_kind =
+  | Alloc
+  | Mutates
+  | Raises
+  | Handle_escape
+  | Store_reset
+  | Cross_store
+  | Unsafe_idx
+  | Idx_guard
 
 type fact = {
   kind : fact_kind;
@@ -146,8 +154,25 @@ let has_attr name (attrs : Parsetree.attributes) =
     (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
     attrs
 
-let attr_names (attrs : Parsetree.attributes) =
-  List.map (fun (a : Parsetree.attribute) -> a.attr_name.txt) attrs
+let attr_payload_nonempty (a : Parsetree.attribute) =
+  match a.attr_payload with Parsetree.PStr [] -> false | _ -> true
+
+let has_justified_attr name (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) ->
+      String.equal a.attr_name.txt name && attr_payload_nonempty a)
+    attrs
+
+(* Binding attributes as seen by the rules. [lint.unsafe_idx_ok]
+   demands a justification payload — an empty waiver is dropped here,
+   so it waives nothing and R13 still fires. *)
+let binding_attr_names (attrs : Parsetree.attributes) =
+  List.filter_map
+    (fun (a : Parsetree.attribute) ->
+      if String.equal a.attr_name.txt "lint.unsafe_idx_ok" && not (attr_payload_nonempty a)
+      then None
+      else Some a.attr_name.txt)
+    attrs
 
 (* Split a normalized dotted path into components, expanding any
    dune-wrapped component left in a raw path. *)
@@ -197,6 +222,27 @@ let raising_external parts =
 (* Exceptions whose raise is conventional control flow, caught by the
    raiser's own caller by design. *)
 let allowlisted_exceptions = [ "Exit" ]
+
+(* Arena stores whose [type handle = int] aliases carry lifetime
+   obligations. The aliases are transparent, but the Typedtree keeps
+   abbreviations un-expanded in occurrence types, so the issuing store
+   is recoverable from any handle-typed expression. *)
+let handle_stores = [ "Itrie"; "Vrp_db"; "Bgp_db" ]
+
+let rec handle_store_of_type depth (ty : Types.type_expr) =
+  if depth > 3 then None
+  else
+    match Types.get_desc ty with
+    | Types.Tconstr (p, args, _) -> (
+      match List.rev (path_parts p) with
+      | "handle" :: store :: _ when mem_string store handle_stores -> Some store
+      | _ -> List.find_map (handle_store_of_type (depth + 1)) args)
+    | Types.Ttuple tys -> List.find_map (handle_store_of_type (depth + 1)) tys
+    | _ -> None
+
+(* The store a value's handles come from, seen through one level of
+   container/tuple nesting (a [handle ref], a [(int * handle) list]). *)
+let handle_store ty = handle_store_of_type 0 ty
 
 let pool_entrypoints = [ "parallel_map"; "parallel_iter"; "parallel_tasks" ]
 
@@ -273,6 +319,8 @@ type walk_ctx = {
   mutable alloc_off : int;
   mutable mut_off : int;
   mutable raise_off : int;
+  mutable handle_off : int;
+  mutable unsafe_off : int;
   mutable try_depth : int;  (** > 0 under a catch-all [try] body *)
   mutable pending_closures : (string * Typedtree.expression * sub_kind) list;
       (** submissions whose argument was a closure literal: processed
@@ -290,6 +338,10 @@ let add_fact ctx kind detail (loc : Location.t) =
     | Alloc -> ctx.alloc_off > 0
     | Mutates -> ctx.mut_off > 0
     | Raises -> ctx.raise_off > 0
+    | Handle_escape | Cross_store -> ctx.handle_off > 0
+    | Unsafe_idx -> ctx.unsafe_off > 0
+    (* markers, not findings: nothing suppresses them *)
+    | Store_reset | Idx_guard -> false
   in
   if not off then begin
     let fact_line, fact_col = loc_line_col loc in
@@ -326,6 +378,12 @@ let resolve_ident ctx (p : Path.t) (loc : Location.t) =
     (match raising_external parts with
     | Some what -> add_fact ctx Raises what loc
     | None -> ());
+    (* a reference to a store's reset/clear marks this node as
+       invalidating that store's handles (R11) *)
+    (match List.rev (drop_stdlib parts) with
+    | ("reset" | "clear") :: store :: _ when mem_string store handle_stores ->
+      add_fact ctx Store_reset store loc
+    | _ -> ());
     match resolve_global ctx.graph parts with
     | Some node_id -> add_call ctx node_id loc
     | None -> ())
@@ -358,14 +416,20 @@ let walk_body ctx ?(spine = true) top =
     let a = has_attr "lint.alloc_ok" e.exp_attributes in
     let m = has_attr "lint.domain_safe" e.exp_attributes in
     let r = has_attr "lint.raise_ok" e.exp_attributes in
+    let h = has_attr "lint.handle_ok" e.exp_attributes in
+    let u = has_justified_attr "lint.unsafe_idx_ok" e.exp_attributes in
     if a then ctx.alloc_off <- ctx.alloc_off + 1;
     if m then ctx.mut_off <- ctx.mut_off + 1;
     if r then ctx.raise_off <- ctx.raise_off + 1;
+    if h then ctx.handle_off <- ctx.handle_off + 1;
+    if u then ctx.unsafe_off <- ctx.unsafe_off + 1;
     Fun.protect
       ~finally:(fun () ->
         if a then ctx.alloc_off <- ctx.alloc_off - 1;
         if m then ctx.mut_off <- ctx.mut_off - 1;
-        if r then ctx.raise_off <- ctx.raise_off - 1)
+        if r then ctx.raise_off <- ctx.raise_off - 1;
+        if h then ctx.handle_off <- ctx.handle_off - 1;
+        if u then ctx.unsafe_off <- ctx.unsafe_off - 1)
       f
   in
   let rec expr_it (it : Tast_iterator.iterator) (e : Typedtree.expression) =
@@ -432,6 +496,65 @@ let walk_body ctx ?(spine = true) top =
             | None -> ())
           | [ "ref" ], Some _ -> add_fact ctx Alloc "ref cell" head_loc
           | _ -> ());
+          (* arena handle provenance: escapes into long-lived storage
+             (R11), cross-store flows (R12), unsafe indexing and the
+             comparisons that guard it (R13) *)
+          (match (drop_stdlib parts, args) with
+          | [ ":=" ], _ :: (_, Some rhs) :: _ -> (
+            match handle_store rhs.exp_type with
+            | Some s ->
+              add_fact ctx Handle_escape
+                (Printf.sprintf "%s handle stored in a ref" s)
+                head_loc
+            | None -> ())
+          | mp, _ :: stored when is_container_mutation mp ->
+            List.iter
+              (fun (_, a) ->
+                match a with
+                | Some (a : Typedtree.expression) -> (
+                  match handle_store a.exp_type with
+                  | Some s ->
+                    add_fact ctx Handle_escape
+                      (Printf.sprintf "%s handle stored via %s" s
+                         (String.concat "." (drop_stdlib parts)))
+                      a.exp_loc
+                  | None -> ())
+                | None -> ())
+              stored
+          | _ -> ());
+          (match List.rev (drop_stdlib parts) with
+          | fn :: store :: _ when mem_string store handle_stores ->
+            List.iter
+              (fun (_, a) ->
+                match a with
+                | Some (a : Typedtree.expression) -> (
+                  match handle_store a.exp_type with
+                  | Some s when not (String.equal s store) ->
+                    add_fact ctx Cross_store
+                      (Printf.sprintf "%s handle passed to %s.%s" s store fn)
+                      a.exp_loc
+                  | Some _ | None -> ())
+                | None -> ())
+              args
+          | (("unsafe_get" | "unsafe_set") as f) :: (("Array" | "Bytes") as m) :: _ ->
+            let idx_name =
+              match args with
+              | _ :: (_, Some idx) :: _ -> (
+                match idx.Typedtree.exp_desc with
+                | Texp_ident (Path.Pident id, _, _) -> Ident.name id
+                | _ -> "<expr>")
+              | _ -> "<expr>"
+            in
+            add_fact ctx Unsafe_idx (Printf.sprintf "%s.%s index %s" m f idx_name) head_loc
+          | [ ("<" | "<=" | ">" | ">=" | "=" | "<>" | "==" | "!=") ] ->
+            List.iter
+              (fun (_, a) ->
+                match a with
+                | Some { Typedtree.exp_desc = Texp_ident (Path.Pident id, _, _); _ } ->
+                  add_fact ctx Idx_guard (Ident.name id) head_loc
+                | _ -> ())
+              args
+          | _ -> ());
           (* raise with an allowlisted exception: prune the head so the
              ident case below stays quiet *)
           let allowlisted_raise =
@@ -458,7 +581,7 @@ let walk_body ctx ?(spine = true) top =
         | Texp_assert (_, _) ->
           add_fact ctx Raises "assert" e.exp_loc;
           default.expr it e
-        | Texp_setfield (obj, { txt; _ }, _, _) ->
+        | Texp_setfield (obj, { txt; _ }, _, rhs) ->
           (match nonlocal_root ctx obj with
           | Some x ->
             add_fact ctx Mutates
@@ -467,9 +590,44 @@ let walk_body ctx ?(spine = true) top =
                  x)
               e.exp_loc
           | None -> ());
+          (match handle_store rhs.exp_type with
+          | Some s ->
+            add_fact ctx Handle_escape
+              (Printf.sprintf "%s handle stored in field %s" s
+                 (String.concat "." (Longident.flatten txt)))
+              e.exp_loc
+          | None -> ());
           default.expr it e
         | Texp_function _ ->
           add_fact ctx Alloc "closure construction" e.exp_loc;
+          (* a closure capturing a handle can outlive the frame that
+             obtained it — an escape if a reset is reachable (R11).
+             Captured = bound somewhere in this binding (ctx.locals)
+             but not inside the closure itself. *)
+          if ctx.handle_off = 0 then begin
+            let inner = collect_locals e in
+            let reported : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+            let d = Tast_iterator.default_iterator in
+            let cap_expr it2 (e2 : Typedtree.expression) =
+              (match e2.exp_desc with
+              | Typedtree.Texp_ident (Path.Pident id, _, _)
+                when is_local ctx id
+                     && (not (Hashtbl.mem inner (Ident.unique_name id)))
+                     && not (Hashtbl.mem reported (Ident.unique_name id)) -> (
+                match handle_store e2.exp_type with
+                | Some s ->
+                  Hashtbl.replace reported (Ident.unique_name id) ();
+                  add_fact ctx Handle_escape
+                    (Printf.sprintf "%s handle '%s' captured by a closure" s
+                       (Ident.name id))
+                    e2.exp_loc
+                | None -> ())
+              | _ -> ());
+              d.expr it2 e2
+            in
+            let cap_it = { d with expr = cap_expr } in
+            cap_it.expr cap_it e
+          end;
           default.expr it e
         | Texp_tuple _ ->
           add_fact ctx Alloc "tuple construction" e.exp_loc;
@@ -502,7 +660,9 @@ let walk_body ctx ?(spine = true) top =
   let rec strip (e : Typedtree.expression) =
     if not (has_attr "lint.alloc_ok" e.exp_attributes
             || has_attr "lint.domain_safe" e.exp_attributes
-            || has_attr "lint.raise_ok" e.exp_attributes)
+            || has_attr "lint.raise_ok" e.exp_attributes
+            || has_attr "lint.handle_ok" e.exp_attributes
+            || has_justified_attr "lint.unsafe_idx_ok" e.exp_attributes)
        || e == top
     then
       match e.exp_desc with
@@ -581,7 +741,7 @@ let build (loader : Cmt_loader.t) =
                     (pattern_all_vars vb.vb_pat);
                   let n =
                     add_node t ~id ~file:u.source ~line
-                      ~attrs:(attr_names vb.vb_attributes) ()
+                      ~attrs:(binding_attr_names vb.vb_attributes) ()
                   in
                   bodies := (n, vb.vb_expr, stamp_map) :: !bodies)
                 vbs
@@ -590,7 +750,9 @@ let build (loader : Cmt_loader.t) =
             | Tstr_eval (e, attrs) ->
               let line, _ = loc_line_col item.str_loc in
               let id = Printf.sprintf "%s.<toplevel:%d>" prefix line in
-              let n = add_node t ~id ~file:u.source ~line ~attrs:(attr_names attrs) () in
+              let n =
+                add_node t ~id ~file:u.source ~line ~attrs:(binding_attr_names attrs) ()
+              in
               bodies := (n, e, stamp_map) :: !bodies
             | _ -> ())
           str.str_items
@@ -621,6 +783,8 @@ let build (loader : Cmt_loader.t) =
         alloc_off = 0;
         mut_off = 0;
         raise_off = 0;
+        handle_off = 0;
+        unsafe_off = 0;
         try_depth = 0;
         pending_closures = [] }
     in

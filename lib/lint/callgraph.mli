@@ -15,6 +15,23 @@ type fact_kind =
   | Alloc  (** heap allocation in the body (R8) *)
   | Mutates  (** writes a free/top-level mutable target (R9) *)
   | Raises  (** may raise outside the allowlist (R10) *)
+  | Handle_escape
+      (** an arena handle stored in a ref/field/container or captured
+          by a closure; detail starts with the issuing store's module
+          name (R11) *)
+  | Store_reset
+      (** a reference to a store's [reset]/[clear]; detail is the
+          store's module name (R11) *)
+  | Cross_store
+      (** a handle typed for store A passed to a function of store B
+          (R12) *)
+  | Unsafe_idx
+      (** an [Array.unsafe_get/set] / [Bytes.unsafe_get/set]; detail
+          ends with the index identifier, or ["<expr>"] (R13) *)
+  | Idx_guard
+      (** a comparison operator applied to an identifier — the guard
+          evidence R13 matches against [Unsafe_idx] (detail is the
+          identifier) *)
 
 type fact = {
   kind : fact_kind;

@@ -246,5 +246,79 @@ let to_json report =
   Buffer.add_string buf (if report.findings = [] then "]\n}\n" else "\n  ]\n}\n");
   Buffer.contents buf
 
+(* SARIF 2.1.0, the minimal profile code-scanning UIs ingest: one run,
+   the executed rules as tool.driver.rules (id, name, one-paragraph
+   help), one result per finding with a single physical location, and
+   the witness chain as relatedLocations. Columns are 1-based in SARIF
+   where findings carry 0-based ones. *)
+let to_sarif report =
+  let e = Finding.json_escape in
+  let buf = Buffer.create 8192 in
+  let loc ~indent ~file ~line ~col =
+    Printf.sprintf
+      "%s{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"%s\"}, \"region\": \
+       {\"startLine\": %d, \"startColumn\": %d}}"
+      indent (e file) line (col + 1)
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  Buffer.add_string buf "  \"version\": \"2.1.0\",\n";
+  Buffer.add_string buf "  \"runs\": [\n    {\n";
+  Buffer.add_string buf "      \"tool\": {\n        \"driver\": {\n";
+  Buffer.add_string buf "          \"name\": \"rpki-maxlen-lint\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "          \"semanticVersion\": \"%s\",\n" (e schema));
+  Buffer.add_string buf "          \"rules\": [";
+  let executed = Rules.find report.rules_run in
+  List.iteri
+    (fun i (r : Rules.t) ->
+      Buffer.add_string buf (if i = 0 then "\n            " else ",\n            ");
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"id\": \"%s\", \"name\": \"%s\", \"shortDescription\": {\"text\": \"%s\"}, \
+            \"defaultConfiguration\": {\"level\": \"%s\"}}"
+           (e r.id) (e r.name) (e r.doc)
+           (match r.severity with Finding.Error -> "error" | Finding.Warning -> "warning")))
+    executed;
+  Buffer.add_string buf (if executed = [] then "]\n" else "\n          ]\n");
+  Buffer.add_string buf "        }\n      },\n";
+  Buffer.add_string buf "      \"results\": [";
+  List.iteri
+    (fun i (f : Finding.t) ->
+      Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+      Buffer.add_string buf "        {\n";
+      Buffer.add_string buf (Printf.sprintf "          \"ruleId\": \"%s\",\n" (e f.rule));
+      Buffer.add_string buf
+        (Printf.sprintf "          \"level\": \"%s\",\n"
+           (Finding.severity_to_string f.severity));
+      Buffer.add_string buf
+        (Printf.sprintf "          \"message\": {\"text\": \"%s\"},\n" (e f.message));
+      Buffer.add_string buf
+        (Printf.sprintf "          \"partialFingerprints\": {\"lintFingerprint/v1\": \"%s\"},\n"
+           (e (Finding.fingerprint f)));
+      Buffer.add_string buf "          \"locations\": [\n";
+      Buffer.add_string buf
+        (loc ~indent:"            " ~file:f.file ~line:f.line ~col:f.col);
+      Buffer.add_string buf "}\n          ]";
+      (match f.witness with
+      | [] -> ()
+      | steps ->
+        Buffer.add_string buf ",\n          \"relatedLocations\": [";
+        List.iteri
+          (fun j (s : Finding.step) ->
+            Buffer.add_string buf (if j = 0 then "\n" else ",\n");
+            Buffer.add_string buf
+              (loc ~indent:"            " ~file:s.step_file ~line:s.step_line ~col:0);
+            Buffer.add_string buf
+              (Printf.sprintf ", \"message\": {\"text\": \"%s\"}}" (e s.step_fn)))
+          steps;
+        Buffer.add_string buf "\n          ]");
+      Buffer.add_string buf "\n        }")
+    report.findings;
+  Buffer.add_string buf (if report.findings = [] then "]\n" else "\n      ]\n");
+  Buffer.add_string buf "    }\n  ]\n}\n";
+  Buffer.contents buf
+
 let has_errors report =
   List.exists (fun (f : Finding.t) -> f.severity = Finding.Error) report.findings

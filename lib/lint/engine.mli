@@ -51,6 +51,14 @@ val apply_baseline : baseline:string list -> report -> report
 val to_text : report -> string
 val to_json : report -> string
 
+val to_sarif : report -> string
+(** SARIF 2.1.0, the minimal profile code-scanning UIs ingest: one
+    run, the executed rules under [tool.driver.rules], one result per
+    finding (rule id, level, message, physical location with 1-based
+    [startColumn]) and the witness chain as [relatedLocations]. The v2
+    JSON report remains the baseline format — SARIF carries no
+    fingerprint header and [load_baseline] does not read it. *)
+
 val has_errors : report -> bool
 (** True when any error-severity finding remains — the CLI's exit
     criterion. *)

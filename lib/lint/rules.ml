@@ -637,6 +637,121 @@ let r10_check tctx =
         detail origin)
     (named @ callbacks)
 
+(* R11: a handle that escapes into long-lived storage (ref, record
+   field, container, closure capture) must not be able to reach a
+   reset/clear of its issuing store — once the store recycles, the
+   stored handle silently indexes reused slots. The escape and the
+   reset need not sit in the same function: the reset is looked for in
+   the whole call closure of the escaping binding, and the finding
+   carries the witness chain from the escape to the resetting node. *)
+let r11_check tctx =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Callgraph.node) ->
+      let escapes =
+        List.filter (fun (f : Callgraph.fact) -> f.kind = Callgraph.Handle_escape) n.facts
+      in
+      if escapes <> [] && in_typed_scope tctx n.file then begin
+        let reachable =
+          Callgraph.reach tctx.graph ~waiver:"lint.handle_ok" ~follow_guarded:true n.id
+        in
+        List.iter
+          (fun (f : Callgraph.fact) ->
+            let store =
+              match String.index_opt f.detail ' ' with
+              | Some i -> String.sub f.detail 0 i
+              | None -> f.detail
+            in
+            match
+              List.find_opt
+                (fun ((m : Callgraph.node), _) ->
+                  List.exists
+                    (fun (g : Callgraph.fact) ->
+                      g.kind = Callgraph.Store_reset && String.equal g.detail store)
+                    m.facts)
+                reachable
+            with
+            | Some (m, chain) ->
+              let key = Printf.sprintf "%s|%d|%d" n.file f.fact_line f.fact_col in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.replace seen key ();
+                tctx.typed_add
+                  (Finding.make
+                     ~witness:(witness_of_chain tctx.graph chain)
+                     ~rule:"R11" ~severity:Finding.Error ~file:n.file ~line:f.fact_line
+                     ~col:f.fact_col
+                     (Printf.sprintf
+                        "%s while %s.reset/clear is reachable (via %s): the stored handle \
+                         survives the recycling and indexes reused slots — keep handles \
+                         frame-local, or annotate [@lint.handle_ok]"
+                        f.detail store m.id))
+              end
+            | None -> ())
+          escapes
+      end)
+    (Callgraph.nodes tctx.graph)
+
+(* R12: per-argument handle provenance on call edges into the arena
+   stores — a handle only means something to the store that issued
+   it. Single-node findings; the self-referential witness keeps the
+   report shape uniform with R8–R11. *)
+let self_witness (n : Callgraph.node) =
+  [ { Finding.step_fn = n.id; step_file = n.file; step_line = n.line } ]
+
+let r12_check tctx =
+  List.iter
+    (fun (n : Callgraph.node) ->
+      if in_typed_scope tctx n.file && not (mem_string "lint.handle_ok" n.attrs) then
+        List.iter
+          (fun (f : Callgraph.fact) ->
+            if f.kind = Callgraph.Cross_store then
+              tctx.typed_add
+                (Finding.make ~witness:(self_witness n) ~rule:"R12" ~severity:Finding.Error
+                   ~file:n.file ~line:f.fact_line ~col:f.fact_col
+                   (Printf.sprintf
+                      "cross-store handle flow: %s — a handle only indexes the store that \
+                       issued it; fetch one from the right store, or annotate \
+                       [@lint.handle_ok]"
+                      f.detail)))
+          n.facts)
+    (Callgraph.nodes tctx.graph)
+
+(* R13: every unsafe array access must be dominated by a bounds or
+   liveness comparison on the same index identifier, in the same
+   function — or carry a justified [@@lint.unsafe_idx_ok "..."]
+   (empty waivers are dropped at graph-build time and do not count). *)
+let r13_check tctx =
+  List.iter
+    (fun (n : Callgraph.node) ->
+      if in_typed_scope tctx n.file && not (mem_string "lint.unsafe_idx_ok" n.attrs) then begin
+        let guards =
+          List.filter_map
+            (fun (f : Callgraph.fact) ->
+              if f.kind = Callgraph.Idx_guard then Some f.detail else None)
+            n.facts
+        in
+        List.iter
+          (fun (f : Callgraph.fact) ->
+            if f.kind = Callgraph.Unsafe_idx then begin
+              let idx =
+                match String.rindex_opt f.detail ' ' with
+                | Some i -> String.sub f.detail (i + 1) (String.length f.detail - i - 1)
+                | None -> f.detail
+              in
+              if String.equal idx "<expr>" || not (mem_string idx guards) then
+                tctx.typed_add
+                  (Finding.make ~witness:(self_witness n) ~rule:"R13"
+                     ~severity:Finding.Error ~file:n.file ~line:f.fact_line ~col:f.fact_col
+                     (Printf.sprintf
+                        "unchecked %s: no bounds/liveness comparison on the index in this \
+                         function — guard it, or annotate the binding \
+                         [@@lint.unsafe_idx_ok \"justification\"]"
+                        f.detail))
+            end)
+          n.facts
+      end)
+    (Callgraph.nodes tctx.graph)
+
 (* --- registry ------------------------------------------------------- *)
 
 let all : t list =
@@ -727,6 +842,35 @@ let all : t list =
          the allowlist: `raise Exit` and raises under a catch-all try are fine. \
          Escape: [@lint.raise_ok] on any binding along the chain.";
       kind = Typed_rule r10_check };
+    { id = "R11";
+      name = "handle-escape";
+      severity = Finding.Error;
+      doc =
+        "[typed] An arena handle (Itrie.handle / Vrp_db.handle / Bgp_db.handle) stored \
+         in a ref, record field or container, or captured by a closure, must not have \
+         the issuing store's reset/clear reachable from the escaping binding: reset \
+         recycles every slot and the stored handle silently indexes reused columns. \
+         The finding carries the witness chain from the escape to the reset. Escape: \
+         [@lint.handle_ok].";
+      kind = Typed_rule r11_check };
+    { id = "R12";
+      name = "cross-store-handle";
+      severity = Finding.Error;
+      doc =
+        "[typed] A handle typed for store A must not flow into a function of store B: \
+         per-argument provenance (from the transparent handle aliases in the Typedtree) \
+         is checked on every call edge into Itrie/Vrp_db/Bgp_db. Escape: \
+         [@lint.handle_ok].";
+      kind = Typed_rule r12_check };
+    { id = "R13";
+      name = "unchecked-unsafe";
+      severity = Finding.Error;
+      doc =
+        "[typed] Every Array/Bytes.unsafe_get/unsafe_set must be dominated by a \
+         bounds/liveness comparison on the same index identifier in the same function, \
+         or carry [@@lint.unsafe_idx_ok \"justification\"] — the justification string is \
+         mandatory; an empty waiver does not count.";
+      kind = Typed_rule r13_check };
   ]
 
 let find ids =

@@ -1,0 +1,35 @@
+(* Deliberate R11 violations: handles escaping into long-lived storage
+   while the issuing store's reset stays reachable — each stored handle
+   would index recycled slots after the reset runs. *)
+
+module Itrie = Arena.Itrie
+
+let stash : Itrie.handle ref = ref Itrie.nil
+
+(* escape and reset in the same binding *)
+let fill_and_recycle t p =
+  stash := Itrie.probe t p;
+  Itrie.reset t
+
+(* escape here, the reset two calls away: the witness chain crosses
+   [via] to reach [deep_reset] *)
+let deep_reset t = Itrie.reset t
+let via t = deep_reset t
+
+let stash_then_via t p =
+  stash := Itrie.find t p;
+  via t
+
+(* a handle smuggled out through a container *)
+let cache : (int, Itrie.handle) Hashtbl.t = Hashtbl.create 8
+
+let remember t k p =
+  Hashtbl.replace cache k (Itrie.find t p);
+  Itrie.reset t
+
+(* a closure capturing a handle across the reset *)
+let capture t p =
+  let h = Itrie.probe t p in
+  let read () = Itrie.value t h in
+  Itrie.reset t;
+  read ()

@@ -1,0 +1,25 @@
+(* Handle escapes that R11 must stay quiet about: no reachable reset,
+   or a deliberate recycling pattern waived at the binding. *)
+
+module Itrie = Arena.Itrie
+
+let stash : Itrie.handle ref = ref Itrie.nil
+
+(* stores a handle, but nothing reachable ever resets: the store is
+   append-only from this binding's point of view *)
+let remember t p = stash := Itrie.probe t p
+
+(* handles that stay frame-local across a reset are fine *)
+let count_then_recycle t p =
+  let n = Itrie.probe t p in
+  let v = Itrie.value t n in
+  Itrie.reset t;
+  v
+
+(* deliberate: the stash is re-seeded right after the reset, so the
+   stale handle never survives the call *)
+let recycle t p =
+  stash := Itrie.probe t p;
+  Itrie.reset t;
+  stash := Itrie.nil
+  [@@lint.handle_ok]

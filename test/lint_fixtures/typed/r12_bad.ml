@@ -1,0 +1,22 @@
+(* Deliberate R12 violations: handles crossing store boundaries. Every
+   one of these type-checks — the handle aliases are transparent ints —
+   and every one reads the wrong store's columns at runtime. *)
+
+module Itrie = Arena.Itrie
+module Vrp_db = Arena.Vrp_db
+module Bgp_db = Arena.Bgp_db
+
+(* a trie node handle used as a VRP entry cursor *)
+let confused_max_len db tr p =
+  let n = Itrie.find tr p in
+  Vrp_db.entry_max_len db n
+
+(* a VRP entry handle pushed back into the trie *)
+let confused_value tr db p =
+  let e = Vrp_db.first db p in
+  Itrie.value tr e
+
+(* a BGP origin cursor probed as a VRP cursor *)
+let confused_origin vdb bdb p =
+  let o = Bgp_db.first bdb p in
+  Vrp_db.entry_asn vdb o

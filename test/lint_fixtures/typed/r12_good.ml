@@ -1,0 +1,22 @@
+(* Handle flows R12 must stay quiet about: handles going back to the
+   store that issued them, and one deliberate cross-read waived at the
+   expression. *)
+
+module Itrie = Arena.Itrie
+module Vrp_db = Arena.Vrp_db
+
+(* matched stores: a VRP cursor walked through VRP accessors *)
+let max_lens db p =
+  let rec go acc h =
+    if h < 0 then acc else go (Vrp_db.entry_max_len db h :: acc) (Vrp_db.next db h)
+  in
+  go [] (Vrp_db.first db p)
+
+let node_value tr p =
+  let n = Itrie.find tr p in
+  if n < 0 then -1 else Itrie.value tr n
+
+(* deliberate: a raw diagnostic peek across stores, waived *)
+let mirrored tr db p =
+  let e = Vrp_db.first db p in
+  (Itrie.value tr e [@lint.handle_ok])

@@ -1,0 +1,15 @@
+(* Deliberate R13 violations: unsafe indexing with no dominating
+   bounds/liveness comparison on the index, and a waiver with no
+   justification (which must not count). *)
+
+(* no comparison on i anywhere in the function *)
+let raw_get a i = Array.unsafe_get a i
+
+(* the WRONG identifier is guarded: j is checked, i is indexed *)
+let wrong_guard a i j = if j >= 0 then Array.unsafe_get a i else 0
+
+(* computed index: never provable, always flagged *)
+let offset_get a i = Array.unsafe_get a (i + 1)
+
+(* an empty waiver carries no justification and waives nothing *)
+let empty_waiver a i = Array.unsafe_get a i [@@lint.unsafe_idx_ok]

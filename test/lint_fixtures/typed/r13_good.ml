@@ -1,0 +1,12 @@
+(* Unsafe indexing R13 must stay quiet about: the index is compared in
+   the same function, or the binding carries a justified waiver. *)
+
+let checked_get a i =
+  if i >= 0 && i < Array.length a then Array.unsafe_get a i else -1
+
+(* the freelist-walk shape: the guard is the loop's termination test *)
+let rec chain_walk nxt e acc =
+  if e < 0 then acc else chain_walk nxt (Array.unsafe_get nxt e) (acc + 1)
+
+let trusted_get a i = Array.unsafe_get a i
+  [@@lint.unsafe_idx_ok "index produced by the store's own freelist, always in bounds"]

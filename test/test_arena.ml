@@ -318,6 +318,120 @@ let test_validation_empty_and_single () =
     (check_validation_agrees [ v ]
        [ (p "10.0.0.0/12", a 64500); (p "10.0.0.0/24", a 64500); (p "11.0.0.0/8", a 64500) ])
 
+(* --- sanitizer: generation-tagged handles ------------------------------ *)
+
+module San = Arena.San
+module Vrp_db = Arena.Vrp_db
+
+(* Stores capture the flag at [create], so flipping it here only
+   affects the stores each test builds; restore it so the rest of the
+   suite runs in whatever mode the environment asked for. *)
+let with_sanitizer on f =
+  let prev = San.enabled () in
+  San.set_enabled on;
+  Fun.protect ~finally:(fun () -> San.set_enabled prev) f
+
+(* Randomized reset/recycle epochs under the sanitizer: within an
+   epoch the trie must agree with a fresh Ptrie model and pass
+   self_check (which also audits the generation columns); across
+   epochs, every handle issued before the reset must be refused with a
+   Violation rather than silently resolving into recycled slots. The
+   deliberate handle stashing below is exactly what lint R11 exists to
+   flag — waived because provoking the sanitizer is the point. *)
+let prop_reset_recycle_sanitized =
+  let open QCheck2 in
+  let gen =
+    Gen.list_size (Gen.int_range 1 4)
+      (Gen.pair
+         (Gen.list_size (Gen.int_range 1 60) Testutil.gen_clustered_v4_prefix)
+         (Gen.list_size (Gen.int_range 0 30) Testutil.gen_clustered_v4_prefix))
+  in
+  Test.make ~name:"reset + freelist recycling under the sanitizer" ~count:100 gen
+    (fun epochs ->
+      with_sanitizer true (fun () ->
+          let t = Itrie.create Pfx.Afi_v4 in
+          let stale = ref [] in
+          List.for_all
+            (fun (adds, removes) ->
+              (* every handle that survived into the previous reset
+                 must now be refused, whatever its slot became *)
+              List.iter
+                (fun h ->
+                  match Itrie.value t h with
+                  | _ -> Test.fail_reportf "stale handle %#x resolved after reset" h
+                  | exception San.Violation _ -> ())
+                !stale;
+              let m = Ptrie.create Pfx.Afi_v4 in
+              let handles =
+                List.mapi
+                  (fun i q ->
+                    let n = Itrie.probe t q in
+                    Itrie.set_value t n i;
+                    Ptrie.add m q i;
+                    n)
+                  (List.sort_uniq Pfx.compare adds)
+              in
+              List.iter
+                (fun q ->
+                  ignore (Itrie.remove t q);
+                  Ptrie.remove m q)
+                removes;
+              (match Itrie.self_check t with
+               | Ok () -> ()
+               | Error e -> Test.fail_reportf "self_check under sanitizer: %s" e);
+              let agreed =
+                Itrie.cardinal t = Ptrie.cardinal m
+                && List.equal
+                     (fun (p1, v1) (p2, v2) -> Pfx.equal p1 p2 && Int.equal v1 v2)
+                     (Ptrie.to_list m) (itrie_to_list t)
+              in
+              stale := handles;
+              Itrie.reset t;
+              (match Itrie.self_check t with
+               | Ok () -> ()
+               | Error e -> Test.fail_reportf "self_check after reset: %s" e);
+              agreed)
+            epochs))
+  [@@lint.handle_ok]
+
+(* The deliberately-stale-handle test: hold a handle across the free
+   that recycles its slot and the sanitizer must fire, for both the
+   trie (reset) and the VRP store (entry removal). *)
+let test_sanitizer_fires () =
+  with_sanitizer true (fun () ->
+      let t = Itrie.create Pfx.Afi_v4 in
+      let h = Itrie.probe t (p "10.0.0.0/8") in
+      Itrie.set_value t h 7;
+      Alcotest.(check int) "tagged handle resolves while live" 7 (Itrie.value t h);
+      Itrie.reset t;
+      (match Itrie.value t h with
+       | v -> Alcotest.failf "stale trie handle resolved to %d after reset" v
+       | exception San.Violation msg ->
+         Alcotest.(check bool) "violation names the store" true
+           (let nl = String.length "itrie" and ml = String.length msg in
+            let rec scan i =
+              i + nl <= ml && (String.equal (String.sub msg i nl) "itrie" || scan (i + 1))
+            in
+            scan 0));
+      let db = Vrp_db.create () in
+      ignore (Vrp_db.add db (p "10.0.0.0/8") ~max_len:16 ~asn:64500);
+      let c = Vrp_db.first db (p "10.0.0.0/8") in
+      Alcotest.(check int) "cursor resolves while live" 16 (Vrp_db.entry_max_len db c);
+      ignore (Vrp_db.remove db (p "10.0.0.0/8") ~max_len:16 ~asn:64500);
+      match Vrp_db.entry_max_len db c with
+      | v -> Alcotest.failf "freed VRP cursor resolved to %d" v
+      | exception San.Violation _ -> ())
+
+(* With the sanitizer off, handles must be raw indices — no tag bits,
+   zero widening — which is what keeps the normal build's accessors at
+   their pre-sanitizer cost. *)
+let test_sanitizer_disabled_raw () =
+  with_sanitizer false (fun () ->
+      let t = Itrie.create Pfx.Afi_v4 in
+      let h = Itrie.probe t (p "10.0.0.0/8") in
+      Alcotest.(check int) "no generation tag" 0 (h lsr 32);
+      Alcotest.(check int) "handle is its own index" h (Itrie.live_index t h))
+
 let () =
   Alcotest.run "arena"
     [ ( "itrie",
@@ -334,6 +448,11 @@ let () =
         @ List.map QCheck_alcotest.to_alcotest
             [ prop_validation_oracle; prop_validation_dynamic ] );
       ("bgp_table", List.map QCheck_alcotest.to_alcotest [ prop_bgp_oracle ]);
+      ( "sanitizer",
+        [ Alcotest.test_case "stale handles are refused" `Quick test_sanitizer_fires;
+          Alcotest.test_case "disabled means raw handles" `Quick
+            test_sanitizer_disabled_raw ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_reset_recycle_sanitized ] );
       ( "compress",
         [ Alcotest.test_case "figure 2" `Quick test_figure2_arena_matches_reference ]
         @ List.map QCheck_alcotest.to_alcotest [ prop_compress_oracle; prop_eliminate_oracle ]

@@ -39,7 +39,8 @@ let cmt_dir_for root =
   let d = Filename.concat (Filename.concat root "_build") "default" in
   if Sys.file_exists d then d else root
 
-let typed_fixture_report ?(rules = Rules.find [ "R8"; "R9"; "R10" ]) () =
+let typed_fixture_report
+    ?(rules = Rules.find [ "R8"; "R9"; "R10"; "R11"; "R12"; "R13" ]) () =
   let root = repo_root () in
   Engine.run ~rules ~typed:true ~cmt_dir:(cmt_dir_for root) ~root
     [ Filename.concat (Filename.concat "test" "lint_fixtures") "typed" ]
@@ -112,7 +113,7 @@ let test_typed_rules_fire () =
         (Printf.sprintf "rule %s fires on its fixture" rule)
         true
         (List.length hits > 0))
-    [ "R8"; "R9"; "R10" ];
+    [ "R8"; "R9"; "R10"; "R11"; "R12"; "R13" ];
   List.iter
     (fun f ->
       Alcotest.(check bool)
@@ -125,7 +126,9 @@ let test_typed_good_fixtures_clean () =
   let report = typed_fixture_report () in
   let is_good_file f =
     let base = Filename.basename f.Finding.file in
-    List.exists (String.equal base) [ "r8_good.ml"; "r9_good.ml"; "cache_server.ml" ]
+    List.exists (String.equal base)
+      [ "r8_good.ml"; "r9_good.ml"; "r11_good.ml"; "r12_good.ml"; "r13_good.ml";
+        "cache_server.ml" ]
   in
   (match List.filter is_good_file report.Engine.findings with
   | [] -> ()
@@ -162,7 +165,7 @@ let test_missing_cmt_degrades () =
         (Printf.sprintf "%s not reported as run" id)
         false
         (List.exists (String.equal id) report.Engine.rules_run))
-    [ "R8"; "R9"; "R10" ];
+    [ "R8"; "R9"; "R10"; "R11"; "R12"; "R13" ];
   (* degradation is not a failure: syntactic rules still ran *)
   Alcotest.(check bool) "syntactic rules ran" true
     (List.exists (String.equal "R1") report.Engine.rules_run)
@@ -353,6 +356,58 @@ let test_json_header_fields () =
     (contains ~needle:(Printf.sprintf "\"typed_units\": %d" report.Engine.typed_units) json);
   Alcotest.(check bool) "witness chains serialized" true (contains ~needle:"\"witness\": [{" json)
 
+(* SARIF 2.1.0 rendering: version tag, executed rules in the driver,
+   one result per finding, 1-based startColumn, witness chains as
+   relatedLocations. *)
+let test_sarif_shape () =
+  let report = typed_fixture_report () in
+  let sarif = Engine.to_sarif report in
+  Alcotest.(check bool) "version tag" true (contains ~needle:"\"version\": \"2.1.0\"" sarif);
+  Alcotest.(check bool) "schema uri" true
+    (contains ~needle:"https://json.schemastore.org/sarif-2.1.0.json" sarif);
+  Alcotest.(check bool) "driver name" true
+    (contains ~needle:"\"name\": \"rpki-maxlen-lint\"" sarif);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "driver rule %s present" id)
+        true
+        (contains ~needle:(Printf.sprintf "{\"id\": \"%s\", \"name\": \"" id) sarif))
+    report.Engine.rules_run;
+  List.iter
+    (fun (f : Finding.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "result for %s" (Finding.fingerprint f))
+        true
+        (contains ~needle:(Printf.sprintf "\"lintFingerprint/v1\": \"%s\"" (Finding.fingerprint f)) sarif);
+      (* SARIF columns are 1-based where findings are 0-based *)
+      Alcotest.(check bool)
+        (Printf.sprintf "1-based column for %s" (Finding.fingerprint f))
+        true
+        (contains
+           ~needle:
+             (Printf.sprintf "\"region\": {\"startLine\": %d, \"startColumn\": %d}" f.Finding.line
+                (f.Finding.col + 1))
+           sarif))
+    report.Engine.findings;
+  Alcotest.(check bool) "witness chains become relatedLocations" true
+    (contains ~needle:"\"relatedLocations\": [" sarif)
+
+(* Discovery must be byte-stable: sorted output, independent of the
+   order (or duplication) of the requested paths — reports and
+   baselines diff cleanly across runs and machines. *)
+let test_discover_deterministic () =
+  let root = repo_root () in
+  let forward = Engine.discover ~root [ "lib"; "bin" ] in
+  let reversed = Engine.discover ~root [ "bin"; "lib" ] in
+  let duplicated = Engine.discover ~root [ "lib"; "bin"; "lib"; "bin" ] in
+  Alcotest.(check bool) "discovery found sources" true (forward <> []);
+  Alcotest.(check (list string)) "path order does not matter" forward reversed;
+  Alcotest.(check (list string)) "duplicate paths collapse" forward duplicated;
+  Alcotest.(check (list string)) "output is sorted"
+    (List.sort String.compare forward)
+    forward
+
 let test_lint_ignore_marker () =
   let dir = Filename.temp_file "lintsrc" "" in
   Sys.remove dir;
@@ -414,7 +469,7 @@ let test_tree_is_clean () =
       (List.length report.Engine.findings)
       (Finding.to_text f)
 
-(* The typed self-check: with R8-R10 enabled over the full tree, zero
+(* The typed self-check: with R8-R13 enabled over the full tree, zero
    unwaived findings — and the phase must have actually run (a silent
    degradation would make this test vacuous). The fixture corpus'
    cmts are loaded too, but its deliberately-bad roots are scoped out
@@ -433,7 +488,7 @@ let test_tree_is_clean_typed () =
         (Printf.sprintf "%s ran" id)
         true
         (List.exists (String.equal id) report.Engine.rules_run))
-    [ "R8"; "R9"; "R10" ];
+    [ "R8"; "R9"; "R10"; "R11"; "R12"; "R13" ];
   match report.Engine.findings with
   | [] -> ()
   | f :: _ ->
@@ -450,7 +505,7 @@ let () =
           Alcotest.test_case "--rules selection" `Quick test_rule_selection ] );
       ( "typed-fixtures",
         [ Alcotest.test_case "typed golden findings" `Quick test_typed_golden;
-          Alcotest.test_case "R8-R10 fire with witnesses" `Quick test_typed_rules_fire;
+          Alcotest.test_case "R8-R13 fire with witnesses" `Quick test_typed_rules_fire;
           Alcotest.test_case "good typed fixtures stay clean" `Quick
             test_typed_good_fixtures_clean;
           Alcotest.test_case "missing cmts degrade gracefully" `Quick
@@ -468,6 +523,9 @@ let () =
           Alcotest.test_case "typed (v2) baseline round trip" `Quick
             test_typed_baseline_roundtrip;
           Alcotest.test_case "v2 header fields" `Quick test_json_header_fields;
+          Alcotest.test_case "sarif 2.1.0 shape" `Quick test_sarif_shape;
+          Alcotest.test_case "discovery is deterministic" `Quick
+            test_discover_deterministic;
           Alcotest.test_case ".lint-ignore marker" `Quick test_lint_ignore_marker;
           Alcotest.test_case "unparseable file" `Quick test_unparseable_file ] );
       ( "self-check",

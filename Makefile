@@ -12,9 +12,11 @@ VALIDATE_SMOKE_JSON := BENCH_validate_smoke.json
 SIM_SMOKE_JSON := BENCH_rtr_smoke.json
 FANOUT_SMOKE_JSON := BENCH_rtr_fanout_smoke.json
 ARENA_SMOKE_JSON := BENCH_arena_smoke.json
+CHURN_SMOKE_JSON := BENCH_churn_smoke.json
 
 .PHONY: build test lint lint-typed check check-sanitize bench bench-smoke \
-	bench-validate-smoke sim-smoke bench-fanout-smoke bench-arena-smoke clean
+	bench-validate-smoke sim-smoke bench-fanout-smoke bench-arena-smoke \
+	bench-churn-smoke clean
 
 build:
 	dune build
@@ -71,6 +73,29 @@ bench-arena-smoke:
 		{ echo "bench-arena-smoke: arena path not strictly faster"; exit 1; }
 	@echo "bench-arena-smoke: OK"
 
+# Live-churn smoke: a reduced timeline replay through the incremental
+# engine must stay bit-identical to the per-transition batch recompute
+# AND come in strictly cheaper than it, then serve the resulting
+# compressed sets over a scripted RTR run that converges (the bench
+# exits non-zero on any violation; the greps double-check the recorded
+# verdicts).
+bench-churn-smoke:
+	rm -f $(CHURN_SMOKE_JSON)
+	BENCH_ONLY=churn BENCH_CHURN_SCALE=0.01 BENCH_CHURN_ROUTERS=20 \
+		BENCH_CHURN_JSON=$(CHURN_SMOKE_JSON) \
+		dune exec bench/main.exe
+	@test -f $(CHURN_SMOKE_JSON) || \
+		{ echo "bench-churn-smoke: $(CHURN_SMOKE_JSON) missing"; exit 1; }
+	@grep -q '"schema": "rpki-maxlen/bench-churn/v1"' $(CHURN_SMOKE_JSON) || \
+		{ echo "bench-churn-smoke: bad schema"; exit 1; }
+	@grep -q '"incremental_matches_batch": true' $(CHURN_SMOKE_JSON) || \
+		{ echo "bench-churn-smoke: incremental state diverged from batch"; exit 1; }
+	@! grep -q '"identical": false' $(CHURN_SMOKE_JSON) || \
+		{ echo "bench-churn-smoke: a transition diverged from batch"; exit 1; }
+	@grep -q '"ok": true' $(CHURN_SMOKE_JSON) || \
+		{ echo "bench-churn-smoke: the churn-scripted RTR run did not converge"; exit 1; }
+	@echo "bench-churn-smoke: OK"
+
 # Fault-injection smoke: a reduced RTR sweep (every fault policy, a
 # handful of seeds) must satisfy the convergence invariant and replay
 # deterministically. The bench exits non-zero on any violation; the
@@ -108,9 +133,10 @@ bench-fanout-smoke:
 clean:
 	dune clean
 	rm -f BENCH_compress.json BENCH_validate.json BENCH_rtr.json \
-		BENCH_rtr_fanout.json BENCH_arena.json $(SMOKE_JSON) \
-		$(VALIDATE_SMOKE_JSON) $(SIM_SMOKE_JSON) $(FANOUT_SMOKE_JSON) \
-		$(ARENA_SMOKE_JSON) $(LINT_JSON)
+		BENCH_rtr_fanout.json BENCH_arena.json BENCH_churn.json \
+		$(SMOKE_JSON) $(VALIDATE_SMOKE_JSON) $(SIM_SMOKE_JSON) \
+		$(FANOUT_SMOKE_JSON) $(ARENA_SMOKE_JSON) $(CHURN_SMOKE_JSON) \
+		$(LINT_JSON)
 
 LINT_JSON := LINT_report.json
 
@@ -142,12 +168,14 @@ check-sanitize: build
 	ARENA_SANITIZE=1 dune exec test/test_arena.exe
 	ARENA_SANITIZE=1 dune exec test/test_compress.exe
 	ARENA_SANITIZE=1 dune exec test/test_validation.exe
+	ARENA_SANITIZE=1 dune exec test/test_churn.exe
 	ARENA_SANITIZE=1 dune exec test/test_netsim.exe
 	@echo "check-sanitize: OK"
 
 # The one-stop gate: build everything, run the test suites, lint the
 # tree (typed phase included), and smoke-check the parallel pipelines,
-# the RTR simulator, the encode-once fan-out and the arena-vs-record
-# data plane.
-check: build test lint-typed bench-smoke sim-smoke bench-fanout-smoke bench-arena-smoke
+# the RTR simulator, the encode-once fan-out, the arena-vs-record
+# data plane and the live-churn incremental engine.
+check: build test lint-typed bench-smoke sim-smoke bench-fanout-smoke bench-arena-smoke \
+		bench-churn-smoke
 	@echo "check: OK"

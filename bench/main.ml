@@ -13,7 +13,7 @@
                    Domain.recommended_domain_count; 1 = sequential)
      BENCH_ONLY    comma-separated subset of sections to run, among
                    section6, audit, table1, figure3, attack, compress,
-                   validate, arena, rtr, fanout, ablation, micro
+                   validate, arena, rtr, fanout, churn, ablation, micro
                    (default: all)
      BENCH_JSON    output path for the machine-readable compression
                    benchmark (default BENCH_compress.json)
@@ -37,7 +37,16 @@
                    minimum wall is kept on both sides (default 3)
      BENCH_ARENA_JSON
                    output path for the machine-readable arena-vs-record
-                   comparison (default BENCH_arena.json) *)
+                   comparison (default BENCH_arena.json)
+     BENCH_CHURN_SCALE
+                   dataset scale for the live-churn timeline replay
+                   (default 0.05)
+     BENCH_CHURN_ROUTERS
+                   router sessions for the live-churn RTR fan-out run
+                   (default 50)
+     BENCH_CHURN_JSON
+                   output path for the machine-readable live-churn
+                   benchmark (default BENCH_churn.json) *)
 
 let getenv_float name default =
   match Sys.getenv_opt name with
@@ -85,6 +94,13 @@ let fanout_json_path =
   | Some _ | None -> "BENCH_rtr_fanout.json"
 
 let arena_repeats = max 1 (getenv_int "BENCH_ARENA_REPEATS" 3)
+let churn_scale = getenv_float "BENCH_CHURN_SCALE" 0.05
+let churn_routers = max 1 (getenv_int "BENCH_CHURN_ROUTERS" 50)
+
+let churn_json_path =
+  match Sys.getenv_opt "BENCH_CHURN_JSON" with
+  | Some p when p <> "" -> p
+  | Some _ | None -> "BENCH_churn.json"
 
 let arena_json_path =
   match Sys.getenv_opt "BENCH_ARENA_JSON" with
@@ -941,6 +957,178 @@ let section_fanout () =
       end)
     rows
 
+(* --- live churn: incremental engine vs batch recompute (BENCH_churn.json) --- *)
+
+(* The timeline replayed as an event stream: the incremental engine
+   (Rpki.Churn) absorbs each week-to-week diff and re-serves
+   validation, minimality and the compressed ROA set, while the batch
+   side rebuilds all of it from scratch on every transition — the cost
+   a cache pays without incrementality. Two hard gates: the
+   incremental compressed/valid/non-minimal state must be identical to
+   batch at every transition, and the total incremental cost must be
+   strictly below the batch-recompute cost at the same scale. The
+   final per-transition compressed sets are then fed as the RTR
+   publication script, so the fan-out serves the live deltas. *)
+
+type churn_row = {
+  h_label : string;
+  h_events : int;
+  h_bgp_changes : int;
+  h_vrp_changes : int;
+  h_group_recomputes : int;
+  h_incr_wall : float;
+  h_batch_wall : float;
+  h_identical : bool;
+}
+
+let write_churn_json path rows ~total_events ~incr_wall ~batch_wall ~identical
+    ~(rtr : Netsim.Rtr_sim.report) =
+  let buf = Buffer.create 2048 in
+  let spf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let per_event w = if total_events > 0 then w *. 1e9 /. float_of_int total_events else 0.0 in
+  spf "{\n";
+  spf "  \"schema\": \"rpki-maxlen/bench-churn/v1\",\n";
+  spf "  \"ocaml_version\": %S,\n" Sys.ocaml_version;
+  spf "  \"word_size\": %d,\n" Sys.word_size;
+  spf "  \"seed\": %d,\n" seed;
+  spf "  \"churn_scale\": %g,\n" churn_scale;
+  spf "  \"transitions\": %d,\n" (List.length rows);
+  spf "  \"total_events\": %d,\n" total_events;
+  spf "  \"incremental\": { \"wall_s\": %.6f, \"ns_per_event\": %.1f, \"events_per_s\": %.1f },\n"
+    incr_wall (per_event incr_wall)
+    (if incr_wall > 0.0 then float_of_int total_events /. incr_wall else 0.0);
+  spf "  \"batch\": { \"wall_s\": %.6f, \"ns_per_event_amortized\": %.1f },\n" batch_wall
+    (per_event batch_wall);
+  spf "  \"speedup\": %.2f,\n" (if incr_wall > 0.0 then batch_wall /. incr_wall else 0.0);
+  spf "  \"incremental_matches_batch\": %b,\n" identical;
+  spf "  \"rtr\": { \"routers\": %d, \"publishes\": %d, \"ok\": %b },\n" churn_routers
+    rtr.Netsim.Rtr_sim.publishes rtr.Netsim.Rtr_sim.ok;
+  spf "  \"transitions_detail\": [\n";
+  List.iteri
+    (fun i r ->
+      spf
+        "    { \"label\": %S, \"events\": %d, \"bgp_changes\": %d, \"vrp_changes\": %d, \
+         \"group_recomputes\": %d, \"incremental_wall_s\": %.6f, \"batch_wall_s\": %.6f, \
+         \"identical\": %b }%s\n"
+        r.h_label r.h_events r.h_bgp_changes r.h_vrp_changes r.h_group_recomputes r.h_incr_wall
+        r.h_batch_wall r.h_identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  spf "  ]\n";
+  spf "}\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
+
+let bench_churn () =
+  banner
+    (Printf.sprintf "Live churn: incremental engine vs per-transition batch recompute (scale %g)"
+       churn_scale);
+  let weeks =
+    Dataset.Timeline.generate ~params:(Dataset.Snapshot.scaled churn_scale) ~seed ()
+  in
+  let weeks_arr = Array.of_list weeks in
+  let stream = Dataset.Timeline.event_stream weeks in
+  let pairs0, vrps0 = Dataset.Timeline.state_of weeks_arr.(0).Dataset.Timeline.snapshot in
+  let t = Rpki.Churn.create ~pairs:pairs0 ~vrps:vrps0 () in
+  let script = ref [ Rpki.Churn.compressed t ] in
+  let rows =
+    List.mapi
+      (fun i (label, events) ->
+        let before = Rpki.Churn.stats t in
+        let t0 = Unix.gettimeofday () in
+        List.iter (fun ev -> ignore (Rpki.Churn.apply t ev)) events;
+        let incr_compressed = Rpki.Churn.compressed t in
+        let incr_wall = Unix.gettimeofday () -. t0 in
+        let after = Rpki.Churn.stats t in
+        script := incr_compressed :: !script;
+        (* Batch side: rebuild everything the engine maintains from the
+           target snapshot — validation db, full-table revalidation,
+           minimality scan, compression. *)
+        let next = weeks_arr.(i + 1).Dataset.Timeline.snapshot in
+        let pairs, vrps = Dataset.Timeline.state_of next in
+        let table = next.Dataset.Snapshot.table in
+        let t1 = Unix.gettimeofday () in
+        let db = Rpki.Validation.create vrps in
+        let batch_valid =
+          List.fold_left
+            (fun n (q, origin) -> if Rpki.Validation.authorized db q origin then n + 1 else n)
+            0 pairs
+        in
+        let batch_nonmin =
+          List.filter
+            (fun w ->
+              Rpki.Vrp.uses_max_len w && not (Mlcore.Minimal.is_minimal_vrp table w))
+            vrps
+        in
+        let batch_compressed = Mlcore.Compress.run vrps in
+        let batch_wall = Unix.gettimeofday () -. t1 in
+        let identical =
+          List.equal Rpki.Vrp.equal incr_compressed batch_compressed
+          && Rpki.Churn.valid_count t = batch_valid
+          && List.equal Rpki.Vrp.equal (Rpki.Churn.non_minimal t) batch_nonmin
+          && List.equal Rpki.Vrp.equal (Rpki.Churn.vrps t) vrps
+        in
+        let row =
+          { h_label = label;
+            h_events = List.length events;
+            h_bgp_changes = after.Rpki.Churn.bgp_changes - before.Rpki.Churn.bgp_changes;
+            h_vrp_changes = after.Rpki.Churn.vrp_changes - before.Rpki.Churn.vrp_changes;
+            h_group_recomputes =
+              after.Rpki.Churn.group_recomputes - before.Rpki.Churn.group_recomputes;
+            h_incr_wall = incr_wall;
+            h_batch_wall = batch_wall;
+            h_identical = identical }
+        in
+        Printf.printf
+          "  %-12s %6d events (%5d bgp, %4d vrp)  %4d groups   incr %8.4f s   batch %8.4f s   \
+           identical %b\n"
+          label row.h_events row.h_bgp_changes row.h_vrp_changes row.h_group_recomputes incr_wall
+          batch_wall identical;
+        row)
+      stream
+  in
+  let total_events = List.fold_left (fun n r -> n + r.h_events) 0 rows in
+  let incr_wall = List.fold_left (fun w r -> w +. r.h_incr_wall) 0.0 rows in
+  let batch_wall = List.fold_left (fun w r -> w +. r.h_batch_wall) 0.0 rows in
+  let identical = List.for_all (fun r -> r.h_identical) rows in
+  (* The compressed sets just maintained, published over RTR to a
+     router fleet: live churn all the way to the wire. *)
+  let module Sim = Netsim.Rtr_sim in
+  let config =
+    { Sim.default_config with
+      Sim.routers = churn_routers;
+      trace = false;
+      script = Some (List.rev !script) }
+  in
+  let rtr = Sim.run ~config ~mix:fanout_mix ~seed ~policy:Netsim.Fault.perfect () in
+  Printf.printf
+    "  totals: %d events   incr %.4f s (%.0f ns/event, %.0f events/s)   batch %.4f s \
+     (%.0f ns/event amortized)   speedup %.1fx\n"
+    total_events incr_wall
+    (if total_events > 0 then incr_wall *. 1e9 /. float_of_int total_events else 0.0)
+    (if incr_wall > 0.0 then float_of_int total_events /. incr_wall else 0.0)
+    batch_wall
+    (if total_events > 0 then batch_wall *. 1e9 /. float_of_int total_events else 0.0)
+    (if incr_wall > 0.0 then batch_wall /. incr_wall else 0.0);
+  Printf.printf "  rtr: %d routers served %d publishes, ok=%b\n" churn_routers
+    rtr.Sim.publishes rtr.Sim.ok;
+  write_churn_json churn_json_path rows ~total_events ~incr_wall ~batch_wall ~identical ~rtr;
+  Printf.printf "  wrote %s\n" churn_json_path;
+  if not identical then begin
+    prerr_endline
+      "BENCH FAILURE: incremental churn state diverged from the batch recompute";
+    exit 1
+  end;
+  if incr_wall >= batch_wall then begin
+    Printf.eprintf
+      "BENCH FAILURE: incremental churn (%.4f s) is not cheaper than batch recompute (%.4f s)\n"
+      incr_wall batch_wall;
+    exit 1
+  end;
+  if not rtr.Sim.ok then begin
+    prerr_endline "BENCH FAILURE: the churn-scripted RTR run violated the convergence invariant";
+    exit 1
+  end
+
 (* --- ablation: Strict vs Paper merge rule --- *)
 
 let ablation snap =
@@ -1093,6 +1281,7 @@ let () =
   section "arena" (fun () -> section_arena (Lazy.force snap));
   section "rtr" section_rtr;
   section "fanout" section_fanout;
+  section "churn" bench_churn;
   section "ablation" (fun () -> ablation (Lazy.force snap));
   section "micro" (fun () -> micro_benchmarks (Lazy.force snap));
   banner "Done"

@@ -343,3 +343,88 @@ let fold_all t ~init ~f =
         chain acc (Itrie.value tr n))
   in
   per_trie t.v6 (per_trie t.v4 init)
+
+(* Every announced pair covered by [p], whatever the origin — the
+   revalidation frontier of a VRP add/remove: exactly these pairs'
+   RFC 6811 state can change. In-order, origins ascending. *)
+let fold_under t p ~init ~f =
+  let tr = trie_for t p in
+  let o_asn = t.o_asn and o_nxt = t.o_nxt in
+  let rec go n acc =
+    let acc =
+      let head = tr.Itrie.value.(n) in
+      if head < 0 then acc
+      else begin
+        let pfx = Itrie.prefix_at tr n in
+        let rec chain acc e = if e < 0 then acc else chain (f acc pfx o_asn.(e)) o_nxt.(e) in
+        chain acc head
+      end
+    in
+    let acc =
+      let l = tr.Itrie.left.(n) in
+      if l >= 0 then go l acc else acc
+    in
+    let r = tr.Itrie.right.(n) in
+    if r >= 0 then go r acc else acc
+  in
+  let n = Itrie.subtree_root tr p in
+  if n < 0 then init else go (Itrie.live_index tr n) init
+
+(* --- invariant audit -------------------------------------------------- *)
+
+(* The delta-API counterpart of {!Itrie.self_check}: after auditing
+   both tries, walk every origin chain and the entry freelist and
+   check they partition the allocated slots — chains strictly
+   ascending and counted by the trie's [aux] slot, freed slots marked,
+   nothing reachable twice, [count] equal to the chain census. *)
+let self_check t =
+  match Itrie.self_check t.v4 with
+  | Error _ as e -> e
+  | Ok () ->
+    match Itrie.self_check t.v6 with
+    | Error _ as e -> e
+    | Ok () ->
+      let exception Bad of string in
+      let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+      (try
+         let seen = Array.make (max 1 t.e_used) false in
+         let live = ref 0 in
+         let walk tr =
+           Itrie.fold_bound tr ~init:() ~f:(fun () n ->
+               let len = ref 0 in
+               let rec go prev e =
+                 if e >= 0 then begin
+                   if e >= t.e_used then bad "entry %d out of bounds (used %d)" e t.e_used;
+                   if seen.(e) then bad "entry %d reachable from two chains" e;
+                   seen.(e) <- true;
+                   if t.o_asn.(e) < 0 then bad "freed entry %d linked on a live chain" e;
+                   if prev >= 0 && t.o_asn.(prev) >= t.o_asn.(e) then
+                     bad "chain not strictly ascending at entry %d" e;
+                   incr live;
+                   incr len;
+                   go e t.o_nxt.(e)
+                 end
+               in
+               go (-1) (Itrie.value tr n);
+               if Itrie.aux tr n <> !len then
+                 bad "origin count %d disagrees with chain length %d" (Itrie.aux tr n) !len)
+         in
+         walk t.v4;
+         walk t.v6;
+         if !live <> t.count then bad "count %d but chain census %d" t.count !live;
+         let free = ref 0 in
+         let rec fgo e =
+           if e >= 0 then begin
+             if e >= t.e_used then bad "freelist entry %d out of bounds" e;
+             if seen.(e) then bad "freelist entry %d aliases a live chain (or a cycle)" e;
+             seen.(e) <- true;
+             if t.o_asn.(e) >= 0 then bad "freelist entry %d not marked free" e;
+             incr free;
+             fgo t.o_nxt.(e)
+           end
+         in
+         fgo t.e_free;
+         if !live + !free <> t.e_used then
+           bad "leaked entry slots: %d live + %d free <> %d used" !live !free t.e_used;
+         Ok ()
+       with Bad msg -> Error msg)

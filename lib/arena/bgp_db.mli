@@ -75,5 +75,19 @@ val under_list :
 val fold_all : t -> init:'a -> f:('a -> Netaddr.Pfx.t -> int -> 'a) -> 'a
 (** Fold over every pair: v4 then v6, in-order, origins ascending. *)
 
+val fold_under : t -> Netaddr.Pfx.t -> init:'a -> f:('a -> Netaddr.Pfx.t -> int -> 'a) -> 'a
+(** Fold over every announced pair covered by [p], whatever the origin
+    — the revalidation frontier of a VRP add/remove. In-order, origins
+    ascending. *)
+
+val self_check : t -> (unit, string) result
+(** Audit the whole store: both tries ({!Itrie.self_check}), then the
+    origin columns — every chain strictly ascending and disjoint from
+    every other, each prefix's [aux] counter equal to its chain
+    length, freed slots marked and only on the freelist, chains plus
+    freelist accounting for every allocated slot, and [cardinal] equal
+    to the chain census. The churn differential harness runs this
+    after every mutation. *)
+
 val distinct_prefix_count : t -> int
 val as_count : t -> int

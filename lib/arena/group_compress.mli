@@ -1,0 +1,62 @@
+(** The per-(origin AS, family) compression kernel of Algorithm 1 on
+    the flat arena.
+
+    One kernel, two drivers: the batch pipeline ([Mlcore.Compress])
+    shards {!Vrp_store} group ranges over domain workers, and the
+    live-churn engine ([Rpki.Churn]) recompresses a single dirty group
+    per event batch. Both call {!compress_range} on a contiguous
+    [lo, hi) range of a sort-deduped store with a scratch {!Itrie} of
+    the group's family, and both get bit-identical packed outputs —
+    the kernel is deterministic in (store contents, range, mode), so
+    incremental-vs-batch equality reduces to feeding it equal groups.
+
+    Outputs are packed ints, [(store index lsl 8) lor maxLength]:
+    maxLength <= 128 fits the low byte, and the caller rebuilds prefix
+    and ASN from the store columns. *)
+
+type mode =
+  | Strict  (** Merge only complete one-bit-longer sibling pairs: lossless. *)
+  | Paper
+      (** Algorithm 1 verbatim: "direct children" at any depth — can
+          over-authorize (see [Mlcore.Compress] for the full
+          discussion). *)
+
+type counters = { mutable merges : int; mutable absorbed : int }
+
+val elimination_order : Vrp_store.t -> int -> int -> int array
+(** [elimination_order st lo hi]: the range's store indices ordered
+    shortest-prefix-first, larger maxLength first among equals — the
+    order in which a dominating tuple always precedes anything it
+    covers. *)
+
+val fill_trie : Vrp_store.t -> Itrie.t -> eliminate:bool -> int array -> int
+(** Insert tuples (store indices, in the given order) into the scratch
+    trie: node [value] is the maxLength, [aux] the store index. With
+    [eliminate], drops covered tuples instead of inserting; returns
+    how many were dropped. *)
+
+val dfs_idx : counters -> mode -> Itrie.t -> int -> unit
+(** Post-order merge sweep (Algorithm 1's compress() on backtrack)
+    from a raw node index, bumping [counters]. *)
+
+val singleton_out : Vrp_store.t -> int -> int array
+(** The packed output of a single-tuple group — no trie work. *)
+
+type result = {
+  out : int array;  (** Packed survivors, in-order (canonical within the group). *)
+  eliminated : int;  (** Tuples dropped as covered. *)
+  merges : int;  (** Parent merges performed. *)
+  absorbed : int;  (** Tuples deleted by those merges. *)
+}
+
+val compress_range :
+  Itrie.t -> Vrp_store.t -> mode:mode -> eliminate:bool -> lo:int -> hi:int -> result
+(** Compress one group range end-to-end: resets the scratch trie,
+    inserts in elimination order (dropping covered tuples when
+    [eliminate]), runs the merge sweep and collects the survivors in
+    trie order. Single-tuple ranges short-circuit without touching the
+    trie. The trie must match the range's family. *)
+
+val eliminate_range : Itrie.t -> Vrp_store.t -> lo:int -> hi:int -> int array
+(** Covered-tuple elimination only (no merging): the packed survivors
+    of one group range, in trie order. *)

@@ -398,3 +398,58 @@ let fold_all t ~init ~f =
         chain acc (Itrie.value tr n))
   in
   per_trie t.v6 (per_trie t.v4 init)
+
+(* --- invariant audit -------------------------------------------------- *)
+
+(* The delta-API counterpart of {!Itrie.self_check}: after auditing
+   both tries, walk every entry chain and the freelist and check they
+   partition the allocated slots — chains strictly ascending by pack,
+   freed slots marked, nothing reachable twice, [count] equal to the
+   chain census. *)
+let self_check t =
+  match Itrie.self_check t.v4 with
+  | Error _ as e -> e
+  | Ok () ->
+    match Itrie.self_check t.v6 with
+    | Error _ as e -> e
+    | Ok () ->
+      let exception Bad of string in
+      let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+      (try
+         let seen = Array.make (max 1 t.e_used) false in
+         let live = ref 0 in
+         let walk tr =
+           Itrie.fold_bound tr ~init:() ~f:(fun () n ->
+               let rec go prev e =
+                 if e >= 0 then begin
+                   if e >= t.e_used then bad "entry %d out of bounds (used %d)" e t.e_used;
+                   if seen.(e) then bad "entry %d reachable from two chains" e;
+                   seen.(e) <- true;
+                   if t.pack.(e) < 0 then bad "freed entry %d linked on a live chain" e;
+                   if prev >= 0 && t.pack.(prev) >= t.pack.(e) then
+                     bad "chain not strictly ascending at entry %d" e;
+                   incr live;
+                   go e t.nxt.(e)
+                 end
+               in
+               go (-1) (Itrie.value tr n))
+         in
+         walk t.v4;
+         walk t.v6;
+         if !live <> t.count then bad "count %d but chain census %d" t.count !live;
+         let free = ref 0 in
+         let rec fgo e =
+           if e >= 0 then begin
+             if e >= t.e_used then bad "freelist entry %d out of bounds" e;
+             if seen.(e) then bad "freelist entry %d aliases a live chain (or a cycle)" e;
+             seen.(e) <- true;
+             if t.pack.(e) >= 0 then bad "freelist entry %d not marked free" e;
+             incr free;
+             fgo t.nxt.(e)
+           end
+         in
+         fgo t.e_free;
+         if !live + !free <> t.e_used then
+           bad "leaked entry slots: %d live + %d free <> %d used" !live !free t.e_used;
+         Ok ()
+       with Bad msg -> Error msg)

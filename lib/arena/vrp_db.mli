@@ -74,3 +74,11 @@ val fold_all :
   t -> init:'a -> f:('a -> Netaddr.Pfx.t -> max_len:int -> asn:int -> 'a) -> 'a
 (** Fold over every entry in canonical (v4-then-v6, address, length,
     max_len, asn) order. *)
+
+val self_check : t -> (unit, string) result
+(** Audit the whole store: both tries ({!Itrie.self_check}), then the
+    entry columns — every chain strictly ascending by pack and
+    disjoint from every other, freed slots marked and only on the
+    freelist, chains plus freelist accounting for every allocated
+    slot, and [cardinal] equal to the chain census. The churn
+    differential harness runs this after every mutation. *)

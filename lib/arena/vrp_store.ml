@@ -20,6 +20,9 @@ type t = {
   mutable s_len : int array;
   mutable s_max : int array;
   mutable n : int;
+  mutable sorted : bool;  (* columns currently in sort_dedup order *)
+  mutable ranges : (int * int) array option;  (* memoized group_ranges *)
+  mutable sorts : int;  (* completed (non-skipped) sort_dedup passes *)
 }
 
 let create ~capacity =
@@ -34,9 +37,18 @@ let create ~capacity =
     s_len = Array.make cap 0;
     s_max = Array.make cap 0;
     n = 0;
+    sorted = true;  (* vacuously: the empty store is ordered *)
+    ranges = None;
+    sorts = 0;
   }
 
 let length t = t.n
+let sort_count t = t.sorts
+
+let clear t =
+  t.n <- 0;
+  t.sorted <- true;
+  t.ranges <- None
 
 let grow t =
   let cap = Array.length t.s_asn in
@@ -66,7 +78,9 @@ let push t p ~max_len ~asn =
   t.s_c3.(i) <- K.c3 p;
   t.s_len.(i) <- Pfx.length p;
   t.s_max.(i) <- max_len;
-  t.n <- i + 1
+  t.n <- i + 1;
+  t.sorted <- false;
+  t.ranges <- None
 
 let asn t i = t.s_asn.(i)
 let max_len t i = t.s_max.(i)
@@ -95,9 +109,14 @@ let compare_idx t i j =
     end
   end
 
+(* Churn-aware: a store whose columns are already in order (nothing
+   pushed since the last pass) skips the sort entirely — the dirty
+   flag is what lets a no-op churn flush cost zero re-sorts. *)
 let sort_dedup t =
   let n = t.n in
-  if n > 0 then begin
+  if not t.sorted && n > 0 then begin
+    t.sorts <- t.sorts + 1;
+    t.ranges <- None;
     let idx = Array.init n (fun i -> i) in
     Array.sort (compare_idx t) idx;
     let permute a =
@@ -137,12 +156,15 @@ let sort_dedup t =
     t.s_c3 <- c3_b;
     t.s_len <- len_b;
     t.s_max <- max_b;
-    t.n <- !out
+    t.n <- !out;
+    t.sorted <- true
   end
 
 (* Contiguous [lo, hi) ranges, one per (asn, family) group; requires a
-   [sort_dedup]ed store. *)
-let group_ranges t =
+   [sort_dedup]ed store. Memoized until the next push or clear, so
+   repeated compression calls over an unchanged store rescan
+   nothing. *)
+let compute_ranges t =
   let n = t.n in
   if n = 0 then [||]
   else begin
@@ -162,3 +184,11 @@ let group_ranges t =
     ranges.(!g) <- (!lo, n);
     ranges
   end
+
+let group_ranges t =
+  match t.ranges with
+  | Some r -> r
+  | None ->
+    let r = compute_ranges t in
+    t.ranges <- Some r;
+    r

@@ -18,15 +18,30 @@ type t = private {
   mutable s_len : int array;
   mutable s_max : int array;
   mutable n : int;
+  mutable sorted : bool;  (** Columns currently in {!sort_dedup} order. *)
+  mutable ranges : (int * int) array option;  (** Memoized {!group_ranges}. *)
+  mutable sorts : int;  (** Completed (non-skipped) {!sort_dedup} passes. *)
 }
 
 val create : capacity:int -> t
 val length : t -> int
 val push : t -> Netaddr.Pfx.t -> max_len:int -> asn:int -> unit
 
+val clear : t -> unit
+(** Rewind to the empty state, keeping the allocated columns — the
+    recycling primitive for a scratch store reused across churn
+    flushes. *)
+
 val sort_dedup : t -> unit
 (** Order by (asn, family, prefix, max_len) and drop exact duplicate
-    tuples — one sort instead of per-insert duplicate scans. *)
+    tuples — one sort instead of per-insert duplicate scans.
+    Churn-aware: a store already in order (no {!push} since the last
+    pass) returns without sorting, so {!sort_count} is the witness
+    that no-op flushes do zero re-sorts. *)
+
+val sort_count : t -> int
+(** How many sort passes have actually run (skipped no-op calls do not
+    count). *)
 
 val asn : t -> int -> int
 val max_len : t -> int -> int
@@ -38,4 +53,5 @@ val prefix : t -> int -> Netaddr.Pfx.t
 
 val group_ranges : t -> (int * int) array
 (** Contiguous [lo, hi) per (asn, family) group, in group-key order —
-    the unit of parallelism. Requires a {!sort_dedup}ed store. *)
+    the unit of parallelism. Requires a {!sort_dedup}ed store.
+    Memoized until the next {!push} or {!clear}. *)

@@ -4,9 +4,15 @@ module Vrp = Rpki.Vrp
 module Pool = Parallel.Pool
 module Itrie = Arena.Itrie
 module Vrp_store = Arena.Vrp_store
+module Kernel = Arena.Group_compress
 module K = Arena.Pfx_key
 
 type mode = Strict | Paper
+
+(* The public mode mirrors the arena kernel's ({!Arena.Group_compress}
+   holds the per-group machinery so [Rpki.Churn] can reuse it without
+   this layer's dataset dependencies). *)
+let kernel_mode = function Strict -> Kernel.Strict | Paper -> Kernel.Paper
 
 (* The pipeline runs on the flat arena: input tuples are decomposed
    into a {!Arena.Vrp_store} (structure-of-arrays columns), one
@@ -319,148 +325,12 @@ let eliminate_covered_reference vrps =
 
 (* --- the arena path -------------------------------------------------- *)
 
-(* Store indices of [lo, hi) ordered shortest-prefix-first, larger
-   maxLength first among equals (index as the deterministic tail), so
-   a dominating tuple is always inserted before anything it covers —
-   the elimination order of the record path. *)
-let elimination_order (st : Vrp_store.t) lo hi =
-  let order = Array.init (hi - lo) (fun k -> lo + k) in
-  Array.sort
-    (fun i j ->
-      let c = Int.compare st.Vrp_store.s_len.(i) st.Vrp_store.s_len.(j) in
-      if c <> 0 then c
-      else begin
-        let c = Int.compare st.Vrp_store.s_max.(j) st.Vrp_store.s_max.(i) in
-        if c <> 0 then c else Int.compare i j
-      end)
-    order;
-  order
+(* The per-group kernel — elimination order, trie fill, the DFS merge
+   sweep, packed outputs — lives in {!Arena.Group_compress}; this
+   layer only shards group ranges over domain workers and merges the
+   packed results.
 
-(* Insert the group's (surviving) tuples into a scratch trie: [value]
-   is the maxLength (duplicate prefixes keep the larger, as the record
-   trie's insert does), [aux] the store index that put it there. When
-   [eliminate] is set, a tuple whose maxLength is dominated along its
-   covering path is dropped instead; returns how many were. *)
-let fill_trie st tr ~eliminate order =
-  let dropped = ref 0 in
-  Array.iter
-    (fun i ->
-      let c0 = st.Vrp_store.s_c0.(i)
-      and c1 = st.Vrp_store.s_c1.(i)
-      and c2 = st.Vrp_store.s_c2.(i)
-      and c3 = st.Vrp_store.s_c3.(i)
-      and len = st.Vrp_store.s_len.(i)
-      and ml = st.Vrp_store.s_max.(i) in
-      if eliminate && Itrie.covering_max_chunks tr ~c0 ~c1 ~c2 ~c3 ~len >= ml then
-        incr dropped
-      else begin
-        let n = Itrie.probe_chunks tr ~c0 ~c1 ~c2 ~c3 ~len in
-        if ml > Itrie.value tr n then begin
-          Itrie.set_value tr n ml;
-          Itrie.set_aux tr n i
-        end
-      end)
-    order;
-  !dropped
-
-(* Paper mode's "direct child" over the arena trie: same in-order scan
-   pruned at the incumbent's length as the record [direct_child]. *)
-let rec dc_scan (tr : Itrie.t) n best =
-  if best >= 0 && tr.Itrie.len.(best) <= tr.Itrie.len.(n) then best
-  else if tr.Itrie.value.(n) >= 0 then n
-  else begin
-    let best =
-      let l = tr.Itrie.left.(n) in
-      if l >= 0 then dc_scan tr l best else best
-    in
-    let r = tr.Itrie.right.(n) in
-    if r >= 0 then dc_scan tr r best else best
-  end
-  [@@hot]
-
-let direct_child_idx tr c = if c < 0 then Itrie.nil else dc_scan tr c Itrie.nil [@@hot]
-
-let merge_children (counters : merge_counters) (tr : Itrie.t) n l r =
-  let parent_value = tr.Itrie.value.(n) in
-  let lv = tr.Itrie.value.(l) and rv = tr.Itrie.value.(r) in
-  let min_child = if lv < rv then lv else rv in
-  if min_child > parent_value then begin
-    counters.merges <- counters.merges + 1;
-    Itrie.set_value tr n min_child;
-    if lv <= min_child then begin
-      Itrie.override_value tr l (-1);
-      counters.absorbed <- counters.absorbed + 1
-    end;
-    if rv <= min_child then begin
-      Itrie.override_value tr r (-1);
-      counters.absorbed <- counters.absorbed + 1
-    end
-  end
-  [@@hot]
-
-let merge_at_idx counters mode (tr : Itrie.t) n =
-  if tr.Itrie.value.(n) >= 0 then begin
-    match mode with
-    | Strict ->
-      let nl = tr.Itrie.len.(n) in
-      let l = tr.Itrie.left.(n) and r = tr.Itrie.right.(n) in
-      if
-        l >= 0 && r >= 0
-        && tr.Itrie.value.(l) >= 0
-        && tr.Itrie.len.(l) = nl + 1
-        && tr.Itrie.value.(r) >= 0
-        && tr.Itrie.len.(r) = nl + 1
-      then merge_children counters tr n l r
-    | Paper ->
-      let l = direct_child_idx tr tr.Itrie.left.(n) in
-      if l >= 0 then begin
-        let r = direct_child_idx tr tr.Itrie.right.(n) in
-        if r >= 0 then merge_children counters tr n l r
-      end
-  end
-  [@@hot]
-
-let rec dfs_idx counters mode (tr : Itrie.t) n =
-  let l = tr.Itrie.left.(n) in
-  if l >= 0 then dfs_idx counters mode tr l;
-  let r = tr.Itrie.right.(n) in
-  if r >= 0 then dfs_idx counters mode tr r;
-  merge_at_idx counters mode tr n
-  [@@hot]
-
-(* A worker's per-range result: each surviving tuple packed as
-   [(store index lsl 8) lor maxLength]. Merges only ever raise the
-   value of an already-stored node, so [aux] is always the index of a
-   tuple with that very prefix — the caller rebuilds prefix and ASN
-   from the store, ints end to end. *)
-type range_result = {
-  out : int array;
-  r_eliminated : int;
-  r_merges : int;
-  r_absorbed : int;
-}
-
-(* A lone tuple is its whole (origin, family) relation: nothing can
-   cover it and nothing can merge with it, so it passes through
-   unchanged with zero trie work. Real tables are dominated by such
-   groups, which is why the chunk workers below special-case them
-   before even touching a scratch trie. *)
-let singleton_out (st : Vrp_store.t) lo = [| (lo lsl 8) lor st.Vrp_store.s_max.(lo) |]
-
-let compress_range_into tr st mode eliminate (lo, hi) =
-  let dropped = fill_trie st tr ~eliminate (elimination_order st lo hi) in
-  let counters = { merges = 0; absorbed = 0 } in
-  dfs_idx counters mode tr Itrie.root;
-  let out = Array.make (Itrie.cardinal tr) 0 in
-  let filled =
-    Itrie.fold_bound tr ~init:0 ~f:(fun k m ->
-        out.(k) <- (Itrie.aux tr m lsl 8) lor Itrie.value tr m;
-        k + 1)
-  in
-  assert (filled = Array.length out);
-  { out; r_eliminated = dropped; r_merges = counters.merges; r_absorbed = counters.absorbed }
-
-(* A worker owns one contiguous run of group ranges and a pair of
+   A worker owns one contiguous run of group ranges and a pair of
    scratch tries recycled across them with {!Itrie.reset} — the
    columns stay allocated (and warm) from group to group instead of
    being rebuilt thousands of times. *)
@@ -468,14 +338,9 @@ let compress_chunk st mode eliminate (ranges : (int * int) array) (r_lo, r_hi) =
   let v4 = Itrie.create ~capacity:256 Pfx.Afi_v4 in
   let v6 = Itrie.create ~capacity:256 Pfx.Afi_v6 in
   Array.init (r_hi - r_lo) (fun k ->
-      let (lo, hi) as range = ranges.(r_lo + k) in
-      if hi - lo = 1 then
-        { out = singleton_out st lo; r_eliminated = 0; r_merges = 0; r_absorbed = 0 }
-      else begin
-        let tr = match Vrp_store.fam st lo with Pfx.Afi_v4 -> v4 | Pfx.Afi_v6 -> v6 in
-        Itrie.reset tr;
-        compress_range_into tr st mode eliminate range
-      end)
+      let lo, hi = ranges.(r_lo + k) in
+      let tr = match Vrp_store.fam st lo with Pfx.Afi_v4 -> v4 | Pfx.Afi_v6 -> v6 in
+      Kernel.compress_range tr st ~mode ~eliminate ~lo ~hi)
 
 (* Sizing the columns to the input up front matters: the push loop
    never doubles, so the store allocates its nine columns exactly once
@@ -540,6 +405,7 @@ let merge_packed st (outs : int array array) =
 
 let run_with_stats ?(mode = Strict) ?(eliminate = true) ?domains vrps =
   let domains = match domains with Some d -> d | None -> Pool.default_domains () in
+  let mode = kernel_mode mode in
   let st = store_of_vrps vrps in
   let input = Vrp_store.length st in
   let ranges = Vrp_store.group_ranges st in
@@ -548,39 +414,23 @@ let run_with_stats ?(mode = Strict) ?(eliminate = true) ?domains vrps =
   (* Deterministic merge: the packed-int sort in canonical VRP order
      makes the final list independent of both sharding and
      scheduling. *)
-  let result, output = merge_packed st (Array.map (fun r -> r.out) results) in
-  let covered_eliminated = Array.fold_left (fun acc r -> acc + r.r_eliminated) 0 results in
-  let merges = Array.fold_left (fun acc r -> acc + r.r_merges) 0 results in
-  let absorbed = Array.fold_left (fun acc r -> acc + r.r_absorbed) 0 results in
+  let result, output = merge_packed st (Array.map (fun r -> r.Kernel.out) results) in
+  let covered_eliminated =
+    Array.fold_left (fun acc r -> acc + r.Kernel.eliminated) 0 results
+  in
+  let merges = Array.fold_left (fun acc r -> acc + r.Kernel.merges) 0 results in
+  let absorbed = Array.fold_left (fun acc r -> acc + r.Kernel.absorbed) 0 results in
   (result, { input; covered_eliminated; merges; children_absorbed = absorbed; output })
 
 let run ?mode ?eliminate ?domains vrps = fst (run_with_stats ?mode ?eliminate ?domains vrps)
-
-let eliminate_range_into tr st (lo, hi) =
-  let order = elimination_order st lo hi in
-  ignore (fill_trie st tr ~eliminate:true order);
-  (* Survivors keep their own (index, maxLength): per group a prefix
-     survives at most once, so the node's aux is exactly that tuple. *)
-  let out = Array.make (Itrie.cardinal tr) 0 in
-  let filled =
-    Itrie.fold_bound tr ~init:0 ~f:(fun k m ->
-        out.(k) <- (Itrie.aux tr m lsl 8) lor Itrie.value tr m;
-        k + 1)
-  in
-  assert (filled = Array.length out);
-  out
 
 let eliminate_chunk st (ranges : (int * int) array) (r_lo, r_hi) =
   let v4 = Itrie.create ~capacity:256 Pfx.Afi_v4 in
   let v6 = Itrie.create ~capacity:256 Pfx.Afi_v6 in
   Array.init (r_hi - r_lo) (fun k ->
-      let (lo, hi) as range = ranges.(r_lo + k) in
-      if hi - lo = 1 then singleton_out st lo
-      else begin
-        let tr = match Vrp_store.fam st lo with Pfx.Afi_v4 -> v4 | Pfx.Afi_v6 -> v6 in
-        Itrie.reset tr;
-        eliminate_range_into tr st range
-      end)
+      let lo, hi = ranges.(r_lo + k) in
+      let tr = match Vrp_store.fam st lo with Pfx.Afi_v4 -> v4 | Pfx.Afi_v6 -> v6 in
+      Kernel.eliminate_range tr st ~lo ~hi)
 
 let eliminate_covered ?domains vrps =
   let domains = match domains with Some d -> d | None -> Pool.default_domains () in

@@ -31,3 +31,69 @@ let generate ?(params = Snapshot.default_params) ?(weekly_growth = 0.003) ?domai
           Parallel.Pool.parallel_map pool ~f:week_of week_params)
   in
   Array.to_list weeks
+
+(* --- event stream ----------------------------------------------------- *)
+
+type state = (Netaddr.Pfx.t * Rpki.Asnum.t) list * Rpki.Vrp.t list
+
+let pair_compare (p1, a1) (p2, a2) =
+  let c = Netaddr.Pfx.compare p1 p2 in
+  if c <> 0 then c else Rpki.Asnum.compare a1 a2
+
+(* One merge pass over both sides in canonical order; inputs are
+   sort_uniq'd first so raw [Snapshot.vrps] lists (which may repeat a
+   tuple across ROAs) diff the same as their set semantics. *)
+let sorted_diff cmp olds news =
+  let rec go olds news removed added =
+    match (olds, news) with
+    | [], [] -> (List.rev removed, List.rev added)
+    | o :: os, [] -> go os [] (o :: removed) added
+    | [], n :: ns -> go [] ns removed (n :: added)
+    | o :: os, n :: ns ->
+        let c = cmp o n in
+        if c = 0 then go os ns removed added
+        else if c < 0 then go os news (o :: removed) added
+        else go olds ns removed (n :: added)
+  in
+  go (List.sort_uniq cmp olds) (List.sort_uniq cmp news) [] []
+
+let state_of (s : Snapshot.t) =
+  ( List.sort_uniq pair_compare (Bgp_table.pairs s.Snapshot.table),
+    List.sort_uniq Rpki.Vrp.compare (Snapshot.vrps s) )
+
+let diff ~prev:(prev_pairs, prev_vrps) ~next:(next_pairs, next_vrps) =
+  let removed_pairs, added_pairs = sorted_diff pair_compare prev_pairs next_pairs in
+  let removed_vrps, added_vrps = sorted_diff Rpki.Vrp.compare prev_vrps next_vrps in
+  List.concat
+    [
+      List.map (fun v -> Rpki.Churn.Remove_vrp v) removed_vrps;
+      List.map (fun (p, a) -> Rpki.Churn.Withdraw (p, a)) removed_pairs;
+      List.map (fun v -> Rpki.Churn.Add_vrp v) added_vrps;
+      List.map (fun (p, a) -> Rpki.Churn.Announce (p, a)) added_pairs;
+    ]
+
+let apply events (pairs, vrps) =
+  let pairs, vrps =
+    List.fold_left
+      (fun (ps, vs) ev ->
+        match ev with
+        | Rpki.Churn.Announce (p, a) -> ((p, a) :: ps, vs)
+        | Rpki.Churn.Withdraw (p, a) ->
+            (List.filter (fun x -> pair_compare x (p, a) <> 0) ps, vs)
+        | Rpki.Churn.Add_vrp v -> (ps, v :: vs)
+        | Rpki.Churn.Remove_vrp v ->
+            (ps, List.filter (fun x -> Rpki.Vrp.compare x v <> 0) vs))
+      (pairs, vrps) events
+  in
+  (List.sort_uniq pair_compare pairs, List.sort_uniq Rpki.Vrp.compare vrps)
+
+let events ~prev ~next = diff ~prev:(state_of prev) ~next:(state_of next)
+
+let event_stream weeks =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        (a.label ^ "->" ^ b.label, events ~prev:a.snapshot ~next:b.snapshot)
+        :: go rest
+    | _ -> []
+  in
+  go weeks

@@ -25,3 +25,35 @@ val generate :
     one week per pool domain; every week derives a private PRNG
     stream from [seed], so the series is bit-identical at any domain
     count. *)
+
+(** {2 Event stream}
+
+    The live-churn view of the same series: instead of eight
+    independent snapshots, the transitions between consecutive weeks
+    as {!Rpki.Churn.event} lists — what a cache sees between two
+    validation runs. *)
+
+type state = (Netaddr.Pfx.t * Rpki.Asnum.t) list * Rpki.Vrp.t list
+(** A snapshot reduced to its churnable content: announced pairs and
+    VRPs, both sort_uniq'd into canonical order. *)
+
+val state_of : Snapshot.t -> state
+
+val diff : prev:state -> next:state -> Rpki.Churn.event list
+(** Events turning [prev] into [next]: [Remove_vrp]s, then
+    [Withdraw]s, then [Add_vrp]s, then [Announce]s, each block in
+    canonical order — removals first so the intermediate states never
+    exceed either endpoint. Total and deterministic; inputs need not
+    be sorted or duplicate-free. *)
+
+val apply : Rpki.Churn.event list -> state -> state
+(** Replay events against a state at the set level — the model side of
+    the round-trip law [apply (diff ~prev ~next) prev = next] that
+    [test/test_churn.ml] checks by property. *)
+
+val events : prev:Snapshot.t -> next:Snapshot.t -> Rpki.Churn.event list
+(** [diff] of two snapshots' {!state_of}. *)
+
+val event_stream : week list -> (string * Rpki.Churn.event list) list
+(** One entry per consecutive transition, labelled ["4/13->4/20"],
+    ...; seven entries for the paper's eight weeks. *)

@@ -16,6 +16,7 @@ type config = {
   settle : int;
   initial_serial : int32;
   trace : bool;
+  script : Rpki.Vrp.t list list option;
 }
 
 let default_config =
@@ -28,7 +29,8 @@ let default_config =
     expire_s = 20;
     settle = 26_000;
     initial_serial = 0xFFFF_FFF0l;
-    trace = true }
+    trace = true;
+    script = None }
 
 type router_outcome = {
   router : int;
@@ -413,7 +415,10 @@ let run ?(config = default_config) ?(mix = []) ~seed ~policy () =
   let cfg =
     { config with
       routers = max 1 (min max_routers config.routers);
-      updates = max 1 config.updates;
+      updates =
+        (match config.script with
+        | Some sets -> max 1 (List.length sets)
+        | None -> max 1 config.updates);
       update_gap = max 1 config.update_gap }
   in
   let policies = match mix with [] -> [| policy |] | l -> Array.of_list l in
@@ -424,7 +429,11 @@ let run ?(config = default_config) ?(mix = []) ~seed ~policy () =
   in
   let master = Rng.create seed in
   let clock = Clock.create () in
-  let updates = gen_updates (Rng.split master "updates") cfg in
+  let updates =
+    match cfg.script with
+    | Some sets -> List.map Vset.of_list sets
+    | None -> gen_updates (Rng.split master "updates") cfg
+  in
   let final_set = List.fold_left (fun _ s -> s) Vset.empty updates in
   let cache =
     Cache.create ~history_limit:8 ~initial_serial:cfg.initial_serial

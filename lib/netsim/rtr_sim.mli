@@ -44,6 +44,13 @@ type config = {
       (** Record the event trace (default true). Scale runs (10k+
           sessions) turn it off: the trace text would dominate memory,
           and with it the replay fingerprint is not available. *)
+  script : Rpki.Vrp.t list list option;
+      (** Publish exactly these VRP sets, in order, instead of the
+          seed-derived synthetic script (default [None]). Overrides
+          [updates] with the list length. This is how live churn
+          reaches the wire: the bench feeds each timeline
+          transition's incrementally-maintained compressed set here,
+          so the RTR fan-out serves real deltas. *)
 }
 
 val default_config : config

@@ -56,3 +56,5 @@ let vrps db =
   List.rev
     (Db.fold_all db ~init:[] ~f:(fun acc prefix ~max_len ~asn ->
          { Vrp.prefix; max_len; asn = Asnum.of_int asn } :: acc))
+
+let self_check = Db.self_check

@@ -49,3 +49,8 @@ val vrps : db -> Vrp.t list
 
 val authorized : db -> Netaddr.Pfx.t -> Asnum.t -> bool
 (** [authorized db p a] = [validate db p a = Valid]. *)
+
+val self_check : db -> (unit, string) result
+(** {!Arena.Vrp_db.self_check} on the underlying arena: audit the
+    tries, entry chains and freelist after a run of {!add}/{!remove}
+    mutations. *)

@@ -394,6 +394,78 @@ let prop_reset_recycle_sanitized =
             epochs))
   [@@lint.handle_ok]
 
+(* The delta-API version of the handle-reuse property, under the
+   sanitizer: interleaved Vrp_db add/remove — the mutation stream the
+   churn engine drives — must never let a handle freed by [remove]
+   resolve again, even after its slot is recycled by a later add,
+   while every still-live entry's cursor keeps reporting its original
+   (max_len, asn). The store is audited after {e every} mutation.
+   Deliberate handle stashing again, waived for the same reason as
+   above. *)
+let prop_delta_stale_handles =
+  let open QCheck2 in
+  let gen = Gen.list_size (Gen.int_range 1 80) (Gen.pair Gen.bool Testutil.gen_vrp) in
+  Test.make ~name:"delta add/remove never resurrects freed cursors" ~count:150 gen
+    (fun ops ->
+      with_sanitizer true (fun () ->
+          let db = Vrp_db.create () in
+          let find_handle (v : Vrp.t) =
+            let rec go h =
+              if h = -1 then None
+              else if
+                Vrp_db.entry_max_len db h = v.Vrp.max_len
+                && Vrp_db.entry_asn db h = Rpki.Asnum.to_int v.Vrp.asn
+              then Some h
+              else go (Vrp_db.next db h)
+            in
+            go (Vrp_db.first db v.Vrp.prefix)
+          in
+          let live = ref [] and freed = ref [] in
+          let audit op =
+            (match Vrp_db.self_check db with
+             | Ok () -> ()
+             | Error e -> Test.fail_reportf "self_check after %s: %s" op e);
+            List.iter
+              (fun (w, h) ->
+                if
+                  Vrp_db.entry_max_len db h <> w.Vrp.max_len
+                  || Vrp_db.entry_asn db h <> Rpki.Asnum.to_int w.Vrp.asn
+                then
+                  Test.fail_reportf "live cursor of %s changed meaning after %s"
+                    (Vrp.to_string w) op)
+              !live;
+            List.iter
+              (fun h ->
+                match Vrp_db.entry_max_len db h with
+                | v -> Test.fail_reportf "freed cursor resolved to %d after %s" v op
+                | exception San.Violation _ -> ())
+              !freed
+          in
+          List.iter
+            (fun (add, v) ->
+              let op = (if add then "add " else "remove ") ^ Vrp.to_string v in
+              if add then begin
+                if
+                  Vrp_db.add db v.Vrp.prefix ~max_len:v.Vrp.max_len
+                    ~asn:(Rpki.Asnum.to_int v.Vrp.asn)
+                then
+                  match find_handle v with
+                  | Some h -> live := (v, h) :: !live
+                  | None -> Test.fail_reportf "added %s but no cursor" (Vrp.to_string v)
+              end
+              else if
+                Vrp_db.remove db v.Vrp.prefix ~max_len:v.Vrp.max_len
+                  ~asn:(Rpki.Asnum.to_int v.Vrp.asn)
+              then begin
+                let gone, kept = List.partition (fun (w, _) -> Vrp.equal v w) !live in
+                live := kept;
+                freed := List.map snd gone @ !freed
+              end;
+              audit op)
+            ops;
+          true))
+  [@@lint.handle_ok]
+
 (* The deliberately-stale-handle test: hold a handle across the free
    that recycles its slot and the sanitizer must fire, for both the
    trie (reset) and the VRP store (entry removal). *)
@@ -452,7 +524,8 @@ let () =
         [ Alcotest.test_case "stale handles are refused" `Quick test_sanitizer_fires;
           Alcotest.test_case "disabled means raw handles" `Quick
             test_sanitizer_disabled_raw ]
-        @ List.map QCheck_alcotest.to_alcotest [ prop_reset_recycle_sanitized ] );
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_reset_recycle_sanitized; prop_delta_stale_handles ] );
       ( "compress",
         [ Alcotest.test_case "figure 2" `Quick test_figure2_arena_matches_reference ]
         @ List.map QCheck_alcotest.to_alcotest [ prop_compress_oracle; prop_eliminate_oracle ]

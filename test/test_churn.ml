@@ -1,0 +1,355 @@
+(* Live churn: the incremental engine (Rpki.Churn) replayed against
+   from-scratch batch recomputation.
+
+   The differential harness is the proof obligation for the whole
+   incremental design: randomized and timeline-derived event sequences
+   run through the engine, and at every checkpoint the maintained
+   state — VRPs, announced pairs, Valid pairs, non-minimal maxLength
+   VRPs, and the compressed ROA set — must be bit-identical to
+   rebuilding everything from scratch (Validation.create,
+   Dataset.Bgp_table + Mlcore.Minimal, Mlcore.Compress.run at 1, 2
+   and 4 domains). Engine self_checks run after every single event, so
+   under ARENA_SANITIZE=1 (make check-sanitize) every arena audit and
+   generation check fires mid-churn, not just at the end. A failing
+   sequence is delta-debugged down to a minimal reproduction before
+   being reported. *)
+
+module Churn = Rpki.Churn
+module Compress = Mlcore.Compress
+module Minimal = Mlcore.Minimal
+module Kernel = Arena.Group_compress
+module Timeline = Dataset.Timeline
+module Snapshot = Dataset.Snapshot
+module Bgp_table = Dataset.Bgp_table
+module V = Rpki.Validation
+module Vrp = Rpki.Vrp
+module Asnum = Rpki.Asnum
+module Pfx = Netaddr.Pfx
+
+let spf = Printf.sprintf
+let a = Testutil.a
+let pr = Pfx.of_string_exn
+let v s m asn = Vrp.make_exn (pr s) ~max_len:m (a asn)
+
+let pair_compare (p1, a1) (p2, a2) =
+  let c = Pfx.compare p1 p2 in
+  if c <> 0 then c else Asnum.compare a1 a2
+
+let pair_equal x y = pair_compare x y = 0
+
+let canon (pairs, vrps) =
+  (List.sort_uniq pair_compare pairs, List.sort_uniq Vrp.compare vrps)
+
+let event = Alcotest.testable Churn.pp_event Churn.event_equal
+let pair_t = Alcotest.(pair Testutil.prefix Testutil.asn)
+
+(* --- randomized event sequences ------------------------------------ *)
+
+(* Aligned prefixes from recursive splits of one v4 and one v6 base:
+   parent/child/sibling relations are dense, so compression merges,
+   covered-tuple elimination and minimality flips all fire constantly
+   instead of almost never (as they would under uniform prefixes). *)
+let rec expand q depth acc =
+  if depth = 0 then q :: acc
+  else
+    match Pfx.split q with
+    | None -> q :: acc
+    | Some (l, r) -> q :: expand l (depth - 1) (expand r (depth - 1) acc)
+
+let pool =
+  Array.of_list (expand (pr "10.0.0.0/8") 4 [] @ expand (pr "2001:db8::/32") 3 [])
+
+let asn_pool = [| 1; 2; 3 |]
+
+let gen_event rng =
+  let q = Rng.pick rng pool in
+  let origin = a (Rng.pick rng asn_pool) in
+  let vrp_of () =
+    let max_len = min (Pfx.addr_bits q) (Pfx.length q + Rng.int rng 4) in
+    Vrp.make_exn q ~max_len origin
+  in
+  match Rng.int rng 4 with
+  | 0 -> Churn.Announce (q, origin)
+  | 1 -> Churn.Withdraw (q, origin)
+  | 2 -> Churn.Add_vrp (vrp_of ())
+  | _ -> Churn.Remove_vrp (vrp_of ())
+
+let gen_events seed n =
+  let rng = Rng.create seed in
+  List.init n (fun _ -> gen_event rng)
+
+(* --- the batch oracles ---------------------------------------------- *)
+
+(* Compare the engine against a from-scratch recomputation of every
+   maintained set. Returns a description of the first divergence. *)
+let checkpoint ~cmode ~domains t ((pairs, vrps) : Timeline.state) =
+  let batch_valid =
+    let db = V.create vrps in
+    List.filter (fun (q, origin) -> V.authorized db q origin) pairs
+  in
+  let batch_nonmin =
+    let table = Bgp_table.create () in
+    List.iter (fun (q, origin) -> Bgp_table.add table q origin) pairs;
+    List.filter
+      (fun w -> Vrp.uses_max_len w && not (Minimal.is_minimal_vrp table w))
+      vrps
+  in
+  if not (List.equal Vrp.equal (Churn.vrps t) vrps) then Some "vrps diverged"
+  else if not (List.equal pair_equal (List.sort pair_compare (Churn.pairs t)) pairs)
+  then Some "pairs diverged"
+  else if
+    not (List.equal pair_equal (List.sort pair_compare (Churn.valid_pairs t)) batch_valid)
+  then Some "valid pairs diverged"
+  else if not (List.equal Vrp.equal (Churn.non_minimal t) batch_nonmin) then
+    Some "non-minimal set diverged"
+  else
+    let batch = Compress.run ~mode:cmode ~domains vrps in
+    if not (List.equal Vrp.equal (Churn.compressed t) batch) then
+      Some (spf "compressed diverged from batch at %d domains" domains)
+    else None
+
+(* Replay a sequence, self_checking after every event and running the
+   full batch comparison every [k] events and at the end. *)
+let run_sequence ?(k = 8) ~kmode ~cmode ~domains events =
+  let t = Churn.create ~mode:kmode () in
+  let rec go i state evs =
+    match evs with
+    | [] -> None
+    | ev :: rest -> (
+        let changed = Churn.apply t ev in
+        let state' = Timeline.apply [ ev ] state in
+        let model_changed =
+          not
+            (List.equal pair_equal (fst state) (fst state')
+            && List.equal Vrp.equal (snd state) (snd state'))
+        in
+        if changed <> model_changed then
+          Some
+            (spf "event %d (%s): apply returned %b, model changed %b" i
+               (Churn.event_to_string ev) changed model_changed)
+        else
+          match Churn.self_check t with
+          | Error e ->
+              Some (spf "event %d (%s): self_check: %s" i (Churn.event_to_string ev) e)
+          | Ok () ->
+              let at_checkpoint =
+                (i + 1) mod k = 0 || match rest with [] -> true | _ -> false
+              in
+              let failure =
+                if at_checkpoint then
+                  match checkpoint ~cmode ~domains t state' with
+                  | Some m ->
+                      Some (spf "event %d (%s): %s" i (Churn.event_to_string ev) m)
+                  | None -> None
+                else None
+              in
+              (match failure with Some _ as f -> f | None -> go (i + 1) state' rest))
+  in
+  go 0 ([], []) events
+
+(* Greedy delta debugging: drop one event at a time while the sequence
+   still fails, to a fixpoint — the minimal reproduction the report
+   prints. Every candidate is re-run from scratch, so the shrunk
+   sequence really fails on its own, not as an artifact of state. *)
+let shrink_failing check events =
+  let fails evs = Option.is_some (check evs) in
+  let rec pass evs i =
+    if i >= List.length evs then evs
+    else
+      let cand = List.filteri (fun j _ -> j <> i) evs in
+      if fails cand then pass cand i else pass evs (i + 1)
+  in
+  let rec fix evs =
+    let evs' = pass evs 0 in
+    if List.length evs' < List.length evs then fix evs' else evs'
+  in
+  fix events
+
+let report_failure ~seed ~domains check events msg =
+  let minimal = shrink_failing check events in
+  let msg = Option.value ~default:msg (check minimal) in
+  Alcotest.failf
+    "seed %d, %d domains: %s@.minimal failing sequence (%d events):@.%s" seed
+    domains msg (List.length minimal)
+    (String.concat "\n" (List.map Churn.event_to_string minimal))
+
+let test_differential () =
+  let strict = List.map (fun s -> (s, Kernel.Strict, Compress.Strict)) [ 11; 23; 37; 59 ] in
+  let paper = List.map (fun s -> (s, Kernel.Paper, Compress.Paper)) [ 101; 103 ] in
+  List.iter
+    (fun (seed, kmode, cmode) ->
+      let events = gen_events seed 120 in
+      List.iter
+        (fun domains ->
+          let check evs = run_sequence ~kmode ~cmode ~domains evs in
+          match check events with
+          | None -> ()
+          | Some msg -> report_failure ~seed ~domains check events msg)
+        [ 1; 2; 4 ])
+    (strict @ paper)
+
+(* --- timeline-derived churn ----------------------------------------- *)
+
+(* The paper's eight-week series as an event stream: seed the engine
+   with week one, replay each transition's diff, and require the
+   engine to land exactly on the next snapshot — including a
+   compressed set bit-identical to batch-compressing that snapshot. *)
+let test_timeline_differential () =
+  let weeks = Timeline.generate ~params:(Snapshot.scaled 0.001) ~seed:5 () in
+  let first = List.hd weeks in
+  let stream = Timeline.event_stream weeks in
+  Alcotest.(check int) "seven transitions" (List.length weeks - 1) (List.length stream);
+  let pairs0, vrps0 = Timeline.state_of first.Timeline.snapshot in
+  let t = Churn.create ~pairs:pairs0 ~vrps:vrps0 () in
+  List.iteri
+    (fun i (label, events) ->
+      Alcotest.(check bool) (label ^ " transition is not empty") true (events <> []);
+      List.iter (fun ev -> ignore (Churn.apply t ev)) events;
+      (match Churn.self_check t with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: self_check: %s" label e);
+      let pairs, vrps = Timeline.state_of (List.nth weeks (i + 1)).Timeline.snapshot in
+      Alcotest.(check (list Testutil.vrp)) (label ^ " vrps") vrps (Churn.vrps t);
+      Alcotest.(check (list pair_t))
+        (label ^ " pairs") pairs
+        (List.sort pair_compare (Churn.pairs t));
+      Alcotest.(check (list Testutil.vrp))
+        (label ^ " compressed")
+        (Compress.run vrps) (Churn.compressed t))
+    stream
+
+(* --- engine semantics, pinned --------------------------------------- *)
+
+let test_minimality_tracking () =
+  let t = Churn.create () in
+  let w = v "10.0.0.0/16" 17 1 in
+  ignore (Churn.apply t (Churn.Add_vrp w));
+  Alcotest.(check (list Testutil.vrp)) "unannounced maxLength VRP is non-minimal" [ w ]
+    (Churn.non_minimal t);
+  ignore (Churn.apply t (Churn.Announce (pr "10.0.0.0/16", a 1)));
+  ignore (Churn.apply t (Churn.Announce (pr "10.0.0.0/17", a 1)));
+  Alcotest.(check (list Testutil.vrp)) "half-announced: still non-minimal" [ w ]
+    (Churn.non_minimal t);
+  ignore (Churn.apply t (Churn.Announce (pr "10.0.128.0/17", a 1)));
+  Alcotest.(check (list Testutil.vrp)) "fully announced: minimal" [] (Churn.non_minimal t);
+  ignore (Churn.apply t (Churn.Withdraw (pr "10.0.128.0/17", a 1)));
+  Alcotest.(check (list Testutil.vrp)) "withdrawal re-opens the attack surface" [ w ]
+    (Churn.non_minimal t);
+  ignore (Churn.apply t (Churn.Remove_vrp w));
+  Alcotest.(check (list Testutil.vrp)) "removed VRP leaves the set" [] (Churn.non_minimal t)
+
+let test_validity_tracking () =
+  let t = Churn.create () in
+  ignore (Churn.apply t (Churn.Announce (pr "10.0.0.0/16", a 1)));
+  ignore (Churn.apply t (Churn.Announce (pr "10.0.0.0/18", a 1)));
+  Alcotest.(check (list pair_t)) "no VRPs: nothing Valid" [] (Churn.valid_pairs t);
+  ignore (Churn.apply t (Churn.Add_vrp (v "10.0.0.0/16" 17 1)));
+  Alcotest.(check (list pair_t))
+    "VRP add revalidates announced pairs under it"
+    [ (pr "10.0.0.0/16", a 1) ]
+    (Churn.valid_pairs t);
+  ignore (Churn.apply t (Churn.Announce (pr "10.0.0.0/17", a 1)));
+  Alcotest.(check (list pair_t))
+    "announce within maxLength is Valid"
+    [ (pr "10.0.0.0/16", a 1); (pr "10.0.0.0/17", a 1) ]
+    (Churn.valid_pairs t);
+  ignore (Churn.apply t (Churn.Remove_vrp (v "10.0.0.0/16" 17 1)));
+  Alcotest.(check (list pair_t)) "VRP removal invalidates" [] (Churn.valid_pairs t)
+
+(* Satellite regression: a no-op event burst must cause zero group
+   recomputes and zero scratch-store re-sorts — the dirty-flag path
+   ([Vrp_store.sort_count] is the witness) — and must not perturb the
+   compressed output. *)
+let test_noop_events_zero_resorts () =
+  let vrps = [ v "10.0.0.0/16" 17 1; v "10.0.0.0/17" 17 1; v "2001:db8::/33" 34 2 ] in
+  let pairs = [ (pr "10.0.0.0/16", a 1); (pr "2001:db8::/33", a 2) ] in
+  let t = Churn.create ~pairs ~vrps () in
+  let before = Churn.compressed t in
+  let s0 = Churn.stats t in
+  let noops =
+    [ Churn.Announce (pr "10.0.0.0/16", a 1);
+      Churn.Add_vrp (v "10.0.0.0/17" 17 1);
+      Churn.Withdraw (pr "10.9.0.0/24", a 7);
+      Churn.Remove_vrp (v "10.9.0.0/24" 24 7) ]
+  in
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool) (Churn.event_to_string ev ^ " is a no-op") false
+        (Churn.apply t ev))
+    noops;
+  Churn.flush t;
+  let s1 = Churn.stats t in
+  Alcotest.(check int) "no group recomputes" s0.Churn.group_recomputes s1.Churn.group_recomputes;
+  Alcotest.(check int) "no scratch re-sorts" s0.Churn.store_sorts s1.Churn.store_sorts;
+  Alcotest.(check int) "all counted as no-ops" (s0.Churn.noops + 4) s1.Churn.noops;
+  Alcotest.(check (list Testutil.vrp)) "compressed unchanged" before (Churn.compressed t)
+
+(* --- timeline diffing ------------------------------------------------ *)
+
+(* Golden fixture: two adjacent states, both families, every event
+   kind — the exact stream [diff] must emit, in its documented order
+   (Remove_vrp, Withdraw, Add_vrp, Announce; canonical within each
+   block). *)
+let test_golden_event_stream () =
+  let state_a : Timeline.state =
+    ( [ (pr "10.0.0.0/16", a 1); (pr "10.1.0.0/24", a 2); (pr "2001:db8::/48", a 3) ],
+      [ v "10.0.0.0/16" 18 1; v "2001:db8::/32" 40 3 ] )
+  in
+  let state_b : Timeline.state =
+    ( [ (pr "10.0.0.0/16", a 1); (pr "10.2.0.0/24", a 2); (pr "2001:db8::/48", a 3);
+        (pr "2001:db8:1::/48", a 3) ],
+      [ v "10.3.0.0/24" 24 2; v "10.0.0.0/16" 18 1 ] )
+  in
+  let expected =
+    [ Churn.Remove_vrp (v "2001:db8::/32" 40 3);
+      Churn.Withdraw (pr "10.1.0.0/24", a 2);
+      Churn.Add_vrp (v "10.3.0.0/24" 24 2);
+      Churn.Announce (pr "10.2.0.0/24", a 2);
+      Churn.Announce (pr "2001:db8:1::/48", a 3) ]
+  in
+  Alcotest.(check (list event)) "golden stream" expected
+    (Timeline.diff ~prev:state_a ~next:state_b);
+  Alcotest.(check (list event)) "self-diff is empty" []
+    (Timeline.diff ~prev:state_a ~next:state_a);
+  let pairs, vrps = Timeline.apply expected (canon state_a) in
+  let pairs_b, vrps_b = canon state_b in
+  Alcotest.(check (list pair_t)) "round-trip pairs" pairs_b pairs;
+  Alcotest.(check (list Testutil.vrp)) "round-trip vrps" vrps_b vrps
+
+let gen_state =
+  QCheck2.Gen.pair
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 40)
+       (QCheck2.Gen.pair Testutil.gen_clustered_prefix Testutil.gen_small_asn))
+    Testutil.gen_vrp_list
+
+let prop_diff_apply_roundtrip =
+  QCheck2.Test.make ~name:"apply (diff prev next) prev = next" ~count:300
+    (QCheck2.Gen.pair gen_state gen_state)
+    (fun (sa, sb) ->
+      let ca = canon sa and cb = canon sb in
+      let pairs, vrps = Timeline.apply (Timeline.diff ~prev:ca ~next:cb) ca in
+      List.equal pair_equal pairs (fst cb) && List.equal Vrp.equal vrps (snd cb))
+
+let prop_diff_reflexive =
+  QCheck2.Test.make ~name:"diff s s = [] (inputs need not be canonical)" ~count:300
+    gen_state
+    (fun s ->
+      let shuffled = (List.rev (fst s) @ fst s, List.rev (snd s) @ snd s) in
+      match Timeline.diff ~prev:shuffled ~next:s with [] -> true | _ -> false)
+
+let () =
+  Alcotest.run "rpki.churn"
+    [ ( "differential",
+        [ Alcotest.test_case "randomized events vs batch (1/2/4 domains)" `Quick
+            test_differential;
+          Alcotest.test_case "timeline event stream vs batch" `Slow
+            test_timeline_differential ] );
+      ( "engine",
+        [ Alcotest.test_case "minimality tracking" `Quick test_minimality_tracking;
+          Alcotest.test_case "validity tracking" `Quick test_validity_tracking;
+          Alcotest.test_case "no-op events: zero recomputes, zero re-sorts" `Quick
+            test_noop_events_zero_resorts ] );
+      ( "timeline-diff",
+        Alcotest.test_case "golden event stream" `Quick test_golden_event_stream
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_diff_apply_roundtrip; prop_diff_reflexive ] ) ]
